@@ -1,0 +1,62 @@
+"""Ablation: the future-work extensions against the base model.
+
+Measures what the base (step-credit, independent-cost) solution leaves on
+the table when the richer models apply: partial-cover credit turns wasted
+near-misses into utility, and shared data-collection costs stretch the
+same budget further.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+from repro.datasets import generate_private
+from repro.extensions import (
+    PartialCoverModel,
+    SharedCostModel,
+    linear_credit,
+    solve_partial_bcc,
+    solve_shared_cost_bcc,
+    step_credit,
+)
+from repro.mc3 import full_cover_cost
+
+
+@pytest.fixture(scope="module")
+def instance(scale):
+    base = generate_private(
+        max(150, scale.p_queries // 6), max(240, scale.p_properties // 6), seed=23
+    )
+    return base.with_budget(round(full_cover_cost(base) * 0.15))
+
+
+@pytest.mark.parametrize("credit_name", ["step", "linear"])
+def test_partial_cover(benchmark, instance, credit_name):
+    credit = step_credit if credit_name == "step" else linear_credit
+    model = PartialCoverModel(instance, credit)
+    selection = benchmark.pedantic(
+        solve_partial_bcc, args=(model,), rounds=1, iterations=1
+    )
+    assert model.cost_of(selection) <= instance.budget + 1e-9
+    benchmark.extra_info["credited_utility"] = model.utility_of(selection)
+
+
+def test_partial_credit_dominates_step_scoring(instance):
+    """Under linear credit, the credit-aware solution scores at least as
+    well as the base solution re-scored with credit."""
+    linear_model = PartialCoverModel(instance, linear_credit)
+    base = solve_partial_bcc(PartialCoverModel(instance, step_credit))
+    aware = solve_partial_bcc(linear_model)
+    assert linear_model.utility_of(aware) >= linear_model.utility_of(base) - 1e-9
+
+
+def test_shared_costs(benchmark, instance):
+    model = SharedCostModel(instance, default_property_cost=2.0)
+    selection = benchmark.pedantic(
+        solve_shared_cost_bcc, args=(model,), rounds=1, iterations=1
+    )
+    assert model.cost_of(selection) <= instance.budget + 1e-9
+    benchmark.extra_info["utility"] = model.utility_of(selection)

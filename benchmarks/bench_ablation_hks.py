@@ -1,0 +1,49 @@
+"""Ablation: HkS engine choice inside A^BCC (DESIGN.md section 5).
+
+The paper plugs the heuristic of Konar & Sidiropoulos into ``A_H^QK`` as a
+black box and notes any HkS solver can be substituted.  This ablation
+compares the portfolio default against single-engine variants on one
+Private-like instance.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+from repro.algorithms import AbccConfig, solve_bcc
+from repro.datasets import generate_private
+from repro.dks.portfolio import HksPortfolio
+from repro.mc3 import full_cover_cost
+from repro.qk import QKConfig
+
+ENGINE_SETS = {
+    "portfolio": ("peeling", "expansion", "lovasz", "spectral"),
+    "peeling-only": ("peeling",),
+    "expansion-only": ("expansion",),
+    "lovasz-only": ("lovasz",),
+}
+
+
+@pytest.fixture(scope="module")
+def instance(scale):
+    base = generate_private(
+        max(200, scale.p_queries // 4), max(300, scale.p_properties // 4), seed=11
+    )
+    budget = round(full_cover_cost(base) * 0.25)
+    return base.with_budget(budget)
+
+
+@pytest.mark.parametrize("engines_name", sorted(ENGINE_SETS))
+def test_hks_engine(benchmark, instance, engines_name):
+    config = AbccConfig(
+        qk=QKConfig(hks=HksPortfolio(engines=ENGINE_SETS[engines_name]))
+    )
+    solution = benchmark.pedantic(
+        solve_bcc, args=(instance, config), rounds=1, iterations=1
+    )
+    assert solution.cost <= instance.budget + 1e-9
+    assert solution.utility > 0
+    benchmark.extra_info["utility"] = solution.utility

@@ -1,0 +1,40 @@
+"""Ablation: the MC3 local-search step (line 3 of Algorithm 1) on/off.
+
+The MC3 step re-covers the same queries at lower cost, freeing budget for
+the residual rounds — disabling it should never help.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+import pytest
+
+from repro.algorithms import AbccConfig, solve_bcc
+from repro.datasets import generate_private
+from repro.mc3 import full_cover_cost
+
+
+@pytest.fixture(scope="module")
+def instance(scale):
+    base = generate_private(
+        max(200, scale.p_queries // 4), max(300, scale.p_properties // 4), seed=13
+    )
+    return base.with_budget(round(full_cover_cost(base) * 0.2))
+
+
+@pytest.mark.parametrize("use_mc3", [True, False], ids=["mc3-on", "mc3-off"])
+def test_mc3_step(benchmark, instance, use_mc3):
+    solution = benchmark.pedantic(
+        solve_bcc, args=(instance, AbccConfig(use_mc3=use_mc3)), rounds=1, iterations=1
+    )
+    assert solution.cost <= instance.budget + 1e-9
+    benchmark.extra_info["utility"] = solution.utility
+
+
+def test_mc3_never_hurts(instance):
+    with_mc3 = solve_bcc(instance, AbccConfig(use_mc3=True))
+    without = solve_bcc(instance, AbccConfig(use_mc3=False))
+    # Allow small heuristic noise, but MC3 should not collapse quality.
+    assert with_mc3.utility >= without.utility * 0.95

@@ -1,0 +1,28 @@
+"""Figure 3a: BCC utility by budget on the BestBuy dataset.
+
+Paper shape: A^BCC achieves the best utility at every budget; all
+algorithms' utilities grow monotonically with the budget; RAND trails far
+behind the greedy baselines.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from shape import assert_best_per_point, assert_monotone_in_x
+
+from conftest import run_once
+from repro.experiments.figures import fig3a
+
+
+def test_fig3a(benchmark, scale):
+    result = run_once(benchmark, fig3a, scale=scale)
+    assert_best_per_point(result, "A^BCC")
+    assert_monotone_in_x(result, "A^BCC")
+    # RAND is qualitatively the worst baseline overall.
+    totals = {
+        name: sum(v for _, v in result.series(name))
+        for name in result.algorithms()
+    }
+    assert totals["RAND"] <= min(totals["IG1"], totals["IG2"], totals["A^BCC"])

@@ -1,0 +1,26 @@
+"""Figure 3d: A^BCC vs exhaustive search on small P subdomains.
+
+Paper shape: the loss against the (impractical) brute force optimum is
+always below 20% on these small instances.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from conftest import run_once
+from repro.experiments.figures import fig3d
+
+
+def test_fig3d(benchmark, scale):
+    result = run_once(benchmark, fig3d, scale=scale)
+    for x in result.x_values():
+        optimal = result.value_at(x, "BruteForce")
+        ours = result.value_at(x, "A^BCC")
+        assert optimal is not None and ours is not None
+        assert ours <= optimal + 1e-9  # brute force is exact
+        if optimal > 0:
+            assert ours >= 0.8 * optimal, (
+                f"subdomain {x}: loss above 20% ({ours} vs {optimal})"
+            )

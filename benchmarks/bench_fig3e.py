@@ -1,0 +1,27 @@
+"""Figure 3e: A^BCC runtime with/without preprocessing over dataset sizes.
+
+Paper shape: preprocessing yields a large speedup that widens with the
+instance (at 100K queries the unpruned variant did not terminate at all);
+both series grow with the number of queries.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from conftest import run_once
+from repro.experiments.figures import fig3e
+
+
+def test_fig3e(benchmark, scale):
+    result = run_once(benchmark, fig3e, scale=scale)
+    sizes = result.x_values()
+    # At the largest size the pruned variant must be faster.
+    largest = sizes[-1]
+    pruned = result.value_at(largest, "with preprocessing")
+    unpruned = result.value_at(largest, "without preprocessing")
+    assert pruned is not None and unpruned is not None
+    assert pruned <= unpruned, (
+        f"preprocessing slower at size {largest}: {pruned} vs {unpruned}"
+    )

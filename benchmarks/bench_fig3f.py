@@ -1,0 +1,26 @@
+"""Figure 3f: A^BCC utility with/without preprocessing over dataset sizes.
+
+Paper shape: the quality degradation caused by preprocessing is
+negligible (we allow 15% at benchmark scale; the paper's plot shows the
+two bars nearly equal).
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from conftest import run_once
+from repro.experiments.figures import fig3f
+
+
+def test_fig3f(benchmark, scale):
+    result = run_once(benchmark, fig3f, scale=scale)
+    for size in result.x_values():
+        pruned = result.value_at(size, "with preprocessing")
+        unpruned = result.value_at(size, "without preprocessing")
+        assert pruned is not None and unpruned is not None
+        assert pruned >= 0.85 * unpruned, (
+            f"preprocessing degraded utility too much at size {size}: "
+            f"{pruned} vs {unpruned}"
+        )

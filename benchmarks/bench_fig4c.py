@@ -1,0 +1,27 @@
+"""Figure 4c: GMC3 budget used by utility target on the Synthetic dataset.
+
+Paper shape: A^GMC3 reaches every target at the lowest cost (margins are
+smaller than in the BCC comparison); RAND pays by far the most.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from shape import assert_best_per_point
+
+from conftest import run_once
+from repro.experiments.figures import fig4c
+
+
+def test_fig4c(benchmark, scale):
+    result = run_once(benchmark, fig4c, scale=scale)
+    assert_best_per_point(result, "A^GMC3", lower_is_better=True)
+    totals = {
+        name: sum(v for _, v in result.series(name))
+        for name in result.algorithms()
+    }
+    assert totals["RAND(G)"] >= max(
+        totals["IG1(G)"], totals["IG2(G)"], totals["A^GMC3"]
+    )

@@ -1,0 +1,19 @@
+"""Figure 4e: ECC best utility/cost ratio on the Private dataset.
+
+Paper shape: A^ECC attains the best ratio of all four algorithms.
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from shape import assert_best_per_point
+
+from conftest import run_once
+from repro.experiments.figures import fig4e
+
+
+def test_fig4e(benchmark, scale):
+    result = run_once(benchmark, fig4e, scale=scale)
+    assert_best_per_point(result, "A^ECC")

@@ -1,0 +1,28 @@
+"""Benchmark configuration.
+
+Benchmarks default to the TINY scale so ``pytest benchmarks/
+--benchmark-only`` completes in minutes; set ``REPRO_BENCH_SCALE=small``
+(or ``paper``) for larger runs.  Every benchmark asserts the *shape* of
+the paper's result (who wins, monotonicity) on top of timing the runner.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.scales import SCALES
+
+
+@pytest.fixture(scope="session")
+def scale():
+    name = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+    if name not in SCALES:
+        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}")
+    return SCALES[name]
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

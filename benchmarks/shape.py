@@ -1,0 +1,62 @@
+"""Shared shape assertions for the figure benchmarks.
+
+We do not chase the paper's absolute numbers (different data, different
+hardware); we assert the *shape*: which algorithm wins, by how much
+roughly, and how series move along the sweep.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import FigureResult
+
+# Heuristics fluctuate a little at tiny scales; "wins" means within this
+# relative slack of the best competitor at each point and strictly better
+# in aggregate.
+POINTWISE_SLACK = 0.97
+
+
+def assert_best_per_point(
+    result: FigureResult, ours: str, lower_is_better: bool = False
+) -> None:
+    """``ours`` is best (or within slack) at every x and best in total."""
+    totals = {name: 0.0 for name in result.algorithms()}
+    for x in result.x_values():
+        our_value = result.value_at(x, ours)
+        assert our_value is not None
+        for name in result.algorithms():
+            if name == ours:
+                continue
+            other = result.value_at(x, name)
+            if other is None:
+                continue
+            if lower_is_better:
+                assert our_value <= other / POINTWISE_SLACK + 1e-9, (
+                    f"{ours}={our_value} worse than {name}={other} at x={x}"
+                )
+            else:
+                assert our_value >= other * POINTWISE_SLACK - 1e-9, (
+                    f"{ours}={our_value} worse than {name}={other} at x={x}"
+                )
+        for name in result.algorithms():
+            value = result.value_at(x, name)
+            if value is not None:
+                totals[name] += value
+    for name, total in totals.items():
+        if name == ours:
+            continue
+        if lower_is_better:
+            assert totals[ours] <= total + 1e-9, (
+                f"{ours} total {totals[ours]} worse than {name} total {total}"
+            )
+        else:
+            assert totals[ours] >= total - 1e-9, (
+                f"{ours} total {totals[ours]} worse than {name} total {total}"
+            )
+
+
+def assert_monotone_in_x(result: FigureResult, algorithm: str) -> None:
+    """Utility never decreases as the budget grows."""
+    series = result.series(algorithm)
+    values = [value for _, value in series]
+    for earlier, later in zip(values, values[1:]):
+        assert later >= earlier - 1e-9

@@ -1,0 +1,33 @@
+"""Compare A^BCC against the paper's baselines on a search-log workload.
+
+Reproduces the Figure 3a experiment end to end at example scale: a
+BestBuy-like search log, a budget sweep derived from the MC3 full-cover
+cost, and the RAND / IG1 / IG2 / A^BCC comparison printed as a table.
+
+Run with::
+
+    python examples/baseline_comparison.py
+"""
+
+from repro.algorithms import solve_bcc
+from repro.baselines import ig1_bcc, ig2_bcc, rand_bcc
+from repro.datasets import generate_bestbuy
+from repro.mc3 import full_cover_cost
+
+workload = generate_bestbuy(n_queries=250, n_properties=240, seed=3)
+full_cost = full_cover_cost(workload)
+budgets = [max(1, round(full_cost * fraction)) for fraction in (0.1, 0.25, 0.5)]
+
+print(f"{'budget':>8} | {'RAND':>8} | {'IG1':>8} | {'IG2':>8} | {'A^BCC':>8}")
+print("-" * 54)
+for budget in budgets:
+    instance = workload.with_budget(budget)
+    rand_avg = sum(
+        rand_bcc(instance, seed=s).utility for s in range(5)
+    ) / 5.0
+    ig1 = ig1_bcc(instance).utility
+    ig2 = ig2_bcc(instance).utility
+    ours = solve_bcc(instance).utility
+    print(f"{budget:>8} | {rand_avg:>8.0f} | {ig1:>8.0f} | {ig2:>8.0f} | {ours:>8.0f}")
+
+print("\n(A^BCC should lead every row; RAND should trail far behind.)")

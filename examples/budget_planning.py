@@ -1,0 +1,60 @@
+"""Flexible-budget planning with the complementary objectives (Section 5).
+
+When the budget is negotiable, two other questions matter:
+
+- **GMC3**: what is the *cheapest* classifier set reaching a utility
+  target (e.g. "cover at least 60% of search demand")?
+- **ECC**: which classifier set gives the best *bang for the buck*
+  (maximum utility per unit of cost) — a natural pilot-project choice?
+
+Run with::
+
+    python examples/budget_planning.py
+"""
+
+from repro.algorithms import solve_ecc, solve_gmc3
+from repro.core import ECCInstance, GMC3Instance
+from repro.datasets import generate_bestbuy
+from repro.mc3 import full_cover_cost
+
+base = generate_bestbuy(n_queries=300, n_properties=280, seed=7)
+total = base.total_utility()
+full_cost = full_cover_cost(base)
+print(f"Workload: {base.num_queries} queries, total utility {total:.0f}, "
+      f"full-cover cost {full_cost:.0f}")
+
+# ----------------------------------------------------------------------
+# GMC3: cheapest way to reach 60% of the total utility.
+# ----------------------------------------------------------------------
+target = round(total * 0.6)
+gmc3 = GMC3Instance(
+    base.queries,
+    {q: base.utility(q) for q in base.queries},
+    {},
+    target=target,
+    default_cost=base.default_cost,
+)
+plan = solve_gmc3(gmc3)
+print(f"\nGMC3: reach utility {target} as cheaply as possible")
+print(f"  classifiers: {len(plan.classifiers)}")
+print(f"  cost:        {plan.cost:.0f} "
+      f"({100 * plan.cost / full_cost:.0f}% of the full-cover cost)")
+print(f"  utility:     {plan.utility:.0f}")
+assert plan.utility >= target
+
+# ----------------------------------------------------------------------
+# ECC: the best utility-per-cost starter pack.
+# ----------------------------------------------------------------------
+ecc = ECCInstance(
+    base.queries,
+    {q: base.utility(q) for q in base.queries},
+    {},
+    default_cost=base.default_cost,
+)
+pilot = solve_ecc(ecc)
+print("\nECC: best bang-for-the-buck classifier set")
+print(f"  classifiers: {len(pilot.classifiers)}")
+print(f"  cost:        {pilot.cost:.0f}")
+print(f"  utility:     {pilot.utility:.0f}")
+print(f"  ratio:       {pilot.ratio:.2f} utility per unit cost")
+print(f"  (covering everything yields {total / full_cost:.2f})")

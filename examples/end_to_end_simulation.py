@@ -1,0 +1,37 @@
+"""End-to-end deployment simulation (paper Section 6.2).
+
+Builds a synthetic catalog whose sellers under-list item properties,
+derives a demand workload, plans classifier construction with ``A^BCC``
+under a quarterly budget, trains the selected classifiers on a noisy
+learning-curve model, deploys them into a search engine, and audits the
+same quantities the paper's business collaborators reported:
+
+- estimated vs actual training costs (paper: ~6% underestimation),
+- realized classifier accuracy (paper: estimates almost always >90%),
+- result-set growth on newly covered queries (paper: >200%).
+
+Run with::
+
+    python examples/end_to_end_simulation.py
+"""
+
+from repro.simulation import CatalogConfig, run_end_to_end
+
+config = CatalogConfig(
+    n_items=1500,
+    n_properties=50,
+    disclosure=0.55,  # sellers list ~55% of the true properties
+)
+
+print("Simulating a quarter of classifier construction...\n")
+report = run_end_to_end(config, n_queries=50, budget_fraction=0.25, seed=11)
+print(report.summary())
+
+print("\nPer-query detail (first 8 newly covered queries):")
+print(f"{'len':>4} | {'baseline':>8} | {'now':>6} | {'growth':>7} | {'precision':>9}")
+for metrics in report.per_query[:8]:
+    print(
+        f"{int(metrics['query_size']):>4} | {metrics['baseline_size']:>8.0f} | "
+        f"{metrics['current_size']:>6.0f} | {100 * metrics['growth']:>6.0f}% | "
+        f"{metrics['precision']:>9.2f}"
+    )

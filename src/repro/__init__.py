@@ -1,0 +1,32 @@
+"""repro — reproduction of "Classifier Construction Under Budget Constraints".
+
+Public API re-exports: the problem model (:mod:`repro.core`), the paper's
+algorithms (:mod:`repro.algorithms`), baselines, datasets and the experiment
+harness.  See README.md for a quickstart and DESIGN.md for the full system
+inventory.
+"""
+
+from repro.core import (
+    BCCInstance,
+    ECCInstance,
+    GMC3Instance,
+    Solution,
+    evaluate,
+    from_letters,
+    from_phrase,
+    props,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BCCInstance",
+    "GMC3Instance",
+    "ECCInstance",
+    "Solution",
+    "evaluate",
+    "props",
+    "from_letters",
+    "from_phrase",
+    "__version__",
+]

@@ -1,0 +1,416 @@
+"""``A^BCC`` — Algorithm 1 of the paper.
+
+High-level scheme (verbatim from the paper):
+
+1. preprocessing: apply two pruning methods to reduce the classifier set;
+2. allocate half of the budget to solve the BCC(1) and BCC(2) subproblems
+   via the algorithm for ``BCC_{l=2}`` (Knapsack + ``A_H^QK``);
+3. test whether the produced solution can be improved cost-wise via the
+   MC3 algorithm of [23] (a local-search optimization);
+4.-6. while the budget allows covering more queries: compute the residual
+   problem and repeat steps 2-3 with the *remaining* budget.
+
+Free (zero-cost) classifiers are selected up front; every candidate
+extension is re-scored with true coverage semantics before acceptance, so
+the Knapsack/QK objective overcounts can never inflate the result.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Set
+
+from repro.algorithms.pruning import PruningConfig, prune_classifiers, prune_qk_graph
+from repro.algorithms.residual import ResidualProblem
+from repro.core.model import BCCInstance, Classifier
+from repro.core.solution import Solution, evaluate
+from repro.knapsack.solvers import solve_knapsack
+from repro.mc3 import InfeasibleCoverError, solve_mc3
+from repro.qk import QKConfig, solve_qk
+
+
+@dataclass
+class AbccConfig:
+    """Tuning knobs for ``A^BCC``.
+
+    Attributes:
+        qk: configuration of the inner ``A_H^QK`` solver.
+        pruning: preprocessing configuration (line 1); ``None`` disables
+            preprocessing entirely (the Figure 3e/3f ablation).
+        use_mc3: run the MC3 local-search improvement (line 3).
+        first_round_fraction: budget fraction for the first BCC(1)/BCC(2)
+            round (the paper uses half, saving the rest for residuals).
+        max_rounds: hard cap on residual iterations.
+        max_qk_query_length: only queries up to this length contribute
+            2-cover edges to the QK graph (longer ones still reach the
+            solution through residual 1-covers); ``None`` = no limit.
+        qk_singleton_bonus: expose 1-coverable-query utilities to the QK
+            solver as node bonuses through a zero-cost virtual node, so
+            the HkS engine optimizes the singleton/pair synergy the paper
+            observes ("the QK solution also tends to cover many popular
+            queries of length 1").  Engineering refinement; candidate
+            picks are still scored with true coverage either way.
+        cover_greedy_arm: add a third per-round candidate that greedily
+            buys whole cheapest residual covers by utility per cost (the
+            same minimal-cover machinery MC3 uses).  It reaches covers of
+            three or more classifiers in one step, which the Knapsack/QK
+            split only reaches after residual unlocking — important on
+            sparse workloads with long queries.
+        cover_arm_threshold: only run the cover-greedy arm in a round when
+            at least this fraction of the uncovered utility sits in
+            queries whose missing set has three or more properties (the
+            covers the other two arms cannot express).  On short-query
+            workloads the arm is unnecessary and its greedy picks can
+            derail the Knapsack/QK trajectory.
+    """
+
+    qk: QKConfig = field(default_factory=QKConfig)
+    pruning: Optional[PruningConfig] = field(default_factory=PruningConfig)
+    use_mc3: bool = True
+    first_round_fraction: float = 0.5
+    max_rounds: int = 12
+    max_qk_query_length: Optional[int] = None
+    qk_singleton_bonus: bool = True
+    final_polish: bool = True
+    polish_eval_cap: int = 400
+    throttle_all_rounds: bool = False
+    cover_greedy_arm: bool = True
+    cover_arm_threshold: float = 0.08
+
+
+_SINGLETON_BONUS = ("__singleton_bonus__",)
+
+
+def _augment_with_singleton_bonus(residual, graph, budget: float):
+    """Attach 1-cover utilities to the QK graph via a zero-cost virtual node.
+
+    For each uncovered query ``q`` with missing set ``M`` and each usable
+    classifier ``c`` with ``M ⊆ c ⊆ q``, an edge (virtual, c) of weight
+    ``U(q)`` is added — classifiers not yet in the graph join it with
+    their cost.  ``solve_qk`` always selects zero-cost nodes, so these
+    edges act as node bonuses inside the HkS engine, letting one QK run
+    optimize 1-cover and 2-cover gains jointly.
+    """
+    bonus_edges = []
+    for query in residual.uncovered_queries():
+        missing = residual.missing(query)
+        utility = residual.workload.utility(query)
+        # Credit exactly the two residual 1-covers the paper's construction
+        # uses (the full query classifier and the missing-set classifier);
+        # crediting intermediate supersets of M(q) invites greedy traps.
+        for classifier in {query, missing}:
+            if classifier and (
+                classifier in graph or residual.usable(classifier, budget)
+            ):
+                bonus_edges.append((classifier, utility))
+    if not bonus_edges:
+        return graph
+    augmented = graph.copy()
+    augmented.add_node(_SINGLETON_BONUS, 0.0)
+    for classifier, utility in bonus_edges:
+        if classifier not in augmented:
+            augmented.add_node(classifier, residual.workload.cost(classifier))
+        augmented.add_edge(_SINGLETON_BONUS, classifier, utility)
+    return augmented
+
+
+def _cover_greedy_pick(
+    residual: ResidualProblem, budget: float
+) -> FrozenSet[Classifier]:
+    """Greedy whole-cover selection on the residual problem.
+
+    Repeatedly buys the uncovered query's cheapest residual minimal cover
+    with the best utility-per-incremental-cost ratio until the budget is
+    exhausted.  Uses the same minimal-cover search as the MC3 greedy; a
+    lazy heap re-validates each query's cached cover on pop (costs only
+    drop as classifiers accumulate).
+    """
+    import heapq
+
+    from repro.core.model import powerset_classifiers
+    from repro.mc3.greedy import cheapest_residual_cover
+
+    workload = residual.workload
+    picked: Set[Classifier] = set()
+    covered_props: Dict = {
+        q: set(q) - set(residual.missing(q)) for q in residual.uncovered_queries()
+    }
+    remaining = budget
+
+    def cover_of(query):
+        candidates = []
+        for classifier in powerset_classifiers(query):
+            if classifier in picked or classifier in residual.selected:
+                candidates.append((classifier, 0.0))
+            elif residual.usable(classifier, budget):
+                candidates.append((classifier, workload.cost(classifier)))
+        return cheapest_residual_cover(query, candidates, covered_props[query])
+
+    heap = []
+    for index, query in enumerate(covered_props):
+        found = cover_of(query)
+        if found is None:
+            continue
+        cost, _ = found
+        ratio = -math.inf if cost <= 0 else -workload.utility(query) / cost
+        heapq.heappush(heap, (ratio, cost, index, query))
+
+    while heap and remaining > 1e-9:
+        ratio, cached_cost, index, query = heapq.heappop(heap)
+        if covered_props[query] == set(query):
+            continue
+        found = cover_of(query)
+        if found is None:
+            continue
+        cost, cover = found
+        if cost > remaining + 1e-9:
+            continue  # unaffordable; dropped (budget only shrinks)
+        if cost < cached_cost - 1e-12:
+            new_ratio = -math.inf if cost <= 0 else -workload.utility(query) / cost
+            heapq.heappush(heap, (new_ratio, cost, index, query))
+            continue
+        for classifier in cover:
+            if classifier not in picked and classifier not in residual.selected:
+                picked.add(classifier)
+                remaining -= workload.cost(classifier)
+            for other in workload.queries_containing(classifier):
+                if other in covered_props:
+                    covered_props[other] |= classifier
+    return frozenset(picked)
+
+
+def _mc3_improve(residual: ResidualProblem, instance: BCCInstance) -> None:
+    """Line 3: try to re-cover the same queries at lower cost.
+
+    The MC3 output replaces the current selection only when it is strictly
+    cheaper and verifiably covers the same query set; otherwise the current
+    selection is kept (the paper: MC3 is a local-search optimization, not
+    guaranteed to improve).
+    """
+    covered = set(residual.tracker.covered)
+    if not covered:
+        return
+    current = residual.selected
+    current_cost = residual.spent()
+    try:
+        alternative = solve_mc3(instance, queries=covered)
+    except InfeasibleCoverError:
+        return
+    alt_cost = sum(instance.cost(c) for c in alternative)
+    if alt_cost >= current_cost - 1e-9:
+        return
+    probe = ResidualProblem(instance)
+    probe.select(alternative)
+    if covered <= set(probe.tracker.covered):
+        # Swap: rebuild the residual state around the cheaper selection.
+        residual.__init__(instance, allowed=residual._allowed)
+        residual.select(alternative)
+
+
+def _swap_polish(
+    instance: BCCInstance,
+    selection: Set[Classifier],
+    allowed: FrozenSet[Classifier],
+    eval_cap: int,
+) -> Set[Classifier]:
+    """Bounded 1-for-1 swap local search on the final selection.
+
+    Tries to swap a low-marginal selected classifier for an unselected one
+    when the true utility strictly improves within the budget.  All
+    utility deltas are computed incrementally over the affected queries
+    only; the number of swap trials is capped so the pass stays cheap.
+    """
+    from repro.core.model import powerset_classifiers
+
+    def is_covered(query, chosen: Set[Classifier]) -> bool:
+        remaining = set(query)
+        for c in powerset_classifiers(query):
+            if c in chosen:
+                remaining -= c
+                if not remaining:
+                    return True
+        return not remaining
+
+    current = set(selection)
+    spent = sum(instance.cost(c) for c in current)
+
+    def swap_delta(out: Optional[Classifier], incoming: Classifier) -> float:
+        affected = set(instance.queries_containing(incoming))
+        if out is not None:
+            affected |= set(instance.queries_containing(out))
+        trial = (current - {out}) | {incoming} if out else current | {incoming}
+        delta = 0.0
+        for query in affected:
+            before = is_covered(query, current)
+            after = is_covered(query, trial)
+            if before != after:
+                delta += instance.utility(query) * (1.0 if after else -1.0)
+        return delta
+
+    # Swap-in candidates ranked by optimistic completion value per cost.
+    gain_hint = {}
+    for query in instance.queries:
+        utility = instance.utility(query)
+        for c in powerset_classifiers(query):
+            if c in allowed and c not in current:
+                gain_hint[c] = gain_hint.get(c, 0.0) + utility
+    candidates = sorted(
+        gain_hint,
+        key=lambda c: (-gain_hint[c] / max(instance.cost(c), 1e-12), sorted(c)),
+    )[:60]
+
+    trials = 0
+    improved = True
+    while improved and trials < eval_cap:
+        improved = False
+        # Selected classifiers by marginal contribution per cost.
+        marginal = {}
+        for out in current:
+            if instance.cost(out) <= 0:
+                continue
+            loss = 0.0
+            for query in instance.queries_containing(out):
+                if is_covered(query, current) and not is_covered(query, current - {out}):
+                    loss += instance.utility(query)
+            marginal[out] = loss
+        removable = sorted(
+            marginal,
+            key=lambda c: (marginal[c] / max(instance.cost(c), 1e-12), sorted(c)),
+        )[:10]
+        for out in removable:
+            refund = instance.cost(out)
+            for incoming in candidates:
+                if incoming in current:
+                    continue
+                cost_in = instance.cost(incoming)
+                if spent - refund + cost_in > instance.budget + 1e-9:
+                    continue
+                if trials >= eval_cap:
+                    break
+                trials += 1
+                delta = swap_delta(out, incoming)
+                if delta > 1e-9:
+                    current = (current - {out}) | {incoming}
+                    spent = spent - refund + cost_in
+                    improved = True
+                    break
+            if improved:
+                break
+    return current
+
+
+def solve_bcc(instance: BCCInstance, config: Optional[AbccConfig] = None) -> Solution:
+    """Run ``A^BCC`` on ``instance`` and return an evaluated solution."""
+    config = config or AbccConfig()
+    started = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # line 1: preprocessing
+    # ------------------------------------------------------------------
+    if config.pruning is not None:
+        allowed = prune_classifiers(instance, instance.budget, config.pruning)
+    else:
+        allowed = frozenset(
+            c
+            for c in instance.relevant_classifiers()
+            if not math.isinf(instance.cost(c))
+            and instance.cost(c) <= instance.budget + 1e-9
+        )
+    residual = ResidualProblem(instance, allowed=allowed)
+
+    # Zero-cost classifiers are free utility: select them all up front.
+    residual.select([c for c in allowed if instance.cost(c) == 0.0])
+
+    rounds = 0
+    throttled = True
+    while rounds < config.max_rounds:
+        rounds += 1
+        remaining = instance.budget - residual.spent()
+        if remaining <= 1e-9:
+            break
+        if rounds >= config.max_rounds - 1:
+            throttled = False  # last chance: spend whatever remains
+        round_throttled = throttled
+        round_budget = (
+            remaining * config.first_round_fraction if round_throttled else remaining
+        )
+        if not config.throttle_all_rounds:
+            throttled = False  # only the first round is throttled
+
+        # ------------------------------------------------------------------
+        # line 2: BCC(1) via Knapsack and BCC(2) via A_H^QK, best of the two
+        # ------------------------------------------------------------------
+        items = residual.knapsack_items(round_budget)
+        _, chosen_items = solve_knapsack(items, round_budget)
+        knapsack_pick = frozenset(item.key for item in chosen_items)
+
+        qk_graph = residual.qk_graph(round_budget, config.max_qk_query_length)
+        if config.pruning is not None:
+            qk_graph = prune_qk_graph(qk_graph, config.pruning)
+        if config.qk_singleton_bonus:
+            qk_graph = _augment_with_singleton_bonus(residual, qk_graph, round_budget)
+        qk_pick: FrozenSet[Classifier] = frozenset()
+        if qk_graph.num_edges() > 0:
+            qk_pick = frozenset(
+                c for c in solve_qk(qk_graph, round_budget, config.qk)
+                if c != _SINGLETON_BONUS
+            )
+
+        picks = [knapsack_pick, qk_pick]
+        if config.cover_greedy_arm:
+            uncovered = residual.uncovered_queries()
+            total_uncovered = sum(instance.utility(q) for q in uncovered)
+            deep = sum(
+                instance.utility(q)
+                for q in uncovered
+                if len(residual.missing(q)) >= 3
+            )
+            if total_uncovered > 0 and deep / total_uncovered >= config.cover_arm_threshold:
+                picks.append(_cover_greedy_pick(residual, round_budget))
+
+        # True-coverage comparison; infeasible picks are discarded.
+        best_pick: FrozenSet[Classifier] = frozenset()
+        best_gain = 0.0
+        best_cost = 0.0
+        for pick in picks:
+            gain, cost = residual.evaluate_gain(pick)
+            if cost <= remaining + 1e-9 and (
+                gain > best_gain + 1e-9
+                or (gain > 0 and abs(gain - best_gain) <= 1e-9 and cost < best_cost)
+            ):
+                best_pick, best_gain, best_cost = pick, gain, cost
+
+        if best_gain <= 0:
+            if round_throttled:
+                # The throttled round found nothing affordable; retry
+                # with the full remaining budget before giving up.
+                throttled = False
+                continue
+            break
+        residual.select(best_pick)
+
+        # ------------------------------------------------------------------
+        # line 3: MC3 local-search improvement
+        # ------------------------------------------------------------------
+        if config.use_mc3:
+            _mc3_improve(residual, instance)
+
+    final_selection: Set[Classifier] = set(residual.selected)
+    if config.final_polish:
+        final_selection = _swap_polish(
+            instance, final_selection, allowed, config.polish_eval_cap
+        )
+
+    solution = evaluate(
+        instance,
+        final_selection,
+        meta={
+            "algorithm": "A^BCC",
+            "rounds": rounds,
+            "allowed_classifiers": len(allowed),
+            "runtime_sec": time.perf_counter() - started,
+        },
+    )
+    return solution

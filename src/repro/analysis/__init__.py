@@ -1,0 +1,29 @@
+"""Executable versions of the paper's approximation-bound algebra.
+
+The proofs of Lemma 4.6 and Theorems 4.7/5.3 hinge on small optimization
+arguments ("the worst case is ``B = n^{2/3}``, ``w = n^{1/3}``", "the
+worst split is ``beta = 2/(2+5a)``", "after ``a ln T`` iterations the
+residual target drops below 1").  This package encodes those expressions
+so the test suite can *check* them numerically instead of trusting the
+prose.
+"""
+
+from repro.analysis.bounds import (
+    bcc_decomposition_bound,
+    bcc_l2_ratio,
+    gmc3_iteration_bound,
+    qk_heuristic_ratio,
+    subproblem_fraction_bound,
+    taylor_class_ratio,
+    taylor_worst_case,
+)
+
+__all__ = [
+    "qk_heuristic_ratio",
+    "bcc_l2_ratio",
+    "bcc_decomposition_bound",
+    "subproblem_fraction_bound",
+    "taylor_class_ratio",
+    "taylor_worst_case",
+    "gmc3_iteration_bound",
+]

@@ -1,0 +1,102 @@
+"""The paper's worst-case bound expressions as functions.
+
+Nothing here runs a solver; these are the closed-form pieces of the
+approximation analysis, used by tests that verify the prose claims
+numerically (e.g. that ``B = n^{2/3}, w = n^{1/3}`` really maximizes the
+``A_T^QK`` class ratio, Lemma 4.6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+
+def qk_heuristic_ratio(alpha: float, epsilon: float = 0.0) -> float:
+    """Theorem 4.7: ``A_H^QK`` performance ratio ``5*alpha + epsilon``.
+
+    The factor decomposes as 2 (random bipartition) x 2 (half budget for
+    HkS) x ``alpha`` (HkS engine) x 5/4 (final partial-node selection).
+    """
+    if alpha < 1.0:
+        raise ValueError(f"an approximation ratio is >= 1, got {alpha}")
+    return 2.0 * 2.0 * alpha * (5.0 / 4.0) + epsilon
+
+
+def subproblem_fraction_bound(l: int) -> float:
+    """Observation 4.2: some BCC(i) holds >= 1/l of the optimal utility."""
+    if l < 1:
+        raise ValueError(f"query length must be >= 1, got {l}")
+    return 1.0 / l
+
+
+def bcc_decomposition_bound(knapsack_ratio: float, qk_ratio: float) -> Tuple[float, float]:
+    """The best-of-two-subproblems analysis in the proof of Theorem 4.7.
+
+    With a ``k``-approximate BCC(1) and a ``q``-approximate BCC(2), the
+    worst optimal-utility split is ``beta = k / (k + q)`` and the overall
+    ratio is ``k + q``.  Returns ``(worst beta, overall ratio)``.
+    """
+    if knapsack_ratio < 1.0 or qk_ratio < 1.0:
+        raise ValueError("approximation ratios are >= 1")
+    beta = knapsack_ratio / (knapsack_ratio + qk_ratio)
+    return beta, knapsack_ratio + qk_ratio
+
+
+def bcc_l2_ratio(alpha: float, epsilon: float = 0.0) -> float:
+    """Theorem 4.7: ``BCC_{l=2}`` ratio ``7*alpha + epsilon`` for alpha >= 1.
+
+    Via the decomposition with a 2-approximate BCC(1) (the preprocessing
+    transfer loses a factor 2) and the ``(5*alpha)``-approximate BCC(2):
+    overall ``2 + 5*alpha <= 7*alpha`` since ``alpha >= 1``.
+    """
+    if alpha < 1.0:
+        raise ValueError(f"an approximation ratio is >= 1, got {alpha}")
+    _, ratio = bcc_decomposition_bound(2.0, 5.0 * alpha)
+    assert ratio <= 7.0 * alpha + 1e-12
+    return 7.0 * alpha + epsilon
+
+
+def taylor_class_ratio(n: float, budget: float, w: float) -> float:
+    """Lemma 4.6: the bipartite-class ratio ``min(n/B, (n*w)^{1/4}, B/w)``.
+
+    ``P1`` achieves ``O(n/B)``, ``P2`` achieves ``O((n*w)^{1/4})`` and the
+    paper's new ``P3`` achieves ``O(B/w)``; the best of the three applies.
+    """
+    if min(n, budget, w) <= 0:
+        raise ValueError("n, budget and w must be positive")
+    return min(n / budget, (n * w) ** 0.25, budget / w)
+
+
+def taylor_worst_case(n: float, grid: int = 60) -> Tuple[float, float, float]:
+    """Numerically maximize the class ratio over ``(B, w)``.
+
+    Lemma 4.6 claims the maximum is ``Theta(n^{1/3})`` at ``B = n^{2/3}``,
+    ``w = n^{1/3}``.  Returns ``(worst ratio, argmax B, argmax w)``.
+    """
+    if n <= 1:
+        raise ValueError(f"n must exceed 1, got {n}")
+    best = (0.0, 1.0, 1.0)
+    for i in range(1, grid + 1):
+        budget = n ** (i / grid)
+        for j in range(1, grid + 1):
+            w = n ** (j / grid)
+            if w > budget:
+                continue  # a pair must be affordable
+            ratio = taylor_class_ratio(n, budget, w)
+            if ratio > best[0]:
+                best = (ratio, budget, w)
+    return best
+
+
+def gmc3_iteration_bound(alpha: float, target: float) -> float:
+    """Theorem 5.3: at most ``alpha * ln(T)`` BCC rounds reach target T.
+
+    Each round covers at least a ``1/alpha`` fraction of the remaining
+    target, so the residual decays geometrically below 1.
+    """
+    if alpha < 1.0:
+        raise ValueError(f"an approximation ratio is >= 1, got {alpha}")
+    if target <= 1.0:
+        return 0.0
+    return alpha * math.log(target)

@@ -1,0 +1,43 @@
+"""Evaluation baselines (Section 6.1 / 6.3 of the paper).
+
+Since no prior algorithm exists for BCC, the paper compares against natural
+baselines, each reproduced here in all three stopping modes:
+
+- **RAND** — uniformly random affordable classifier per iteration.
+- **IG1** — per-query greedy: each iteration selects the uncovered query
+  whose cheapest residual cover maximizes utility / incremental cost.
+- **IG2** — per-classifier greedy (the MC3-style Set Cover adaptation):
+  each iteration selects the classifier maximizing the sum of utilities of
+  the uncovered queries containing it divided by its cost.
+
+Stopping modes: *budget* (BCC), *target utility* (GMC3), and *cover all,
+return the best utility/cost snapshot* (ECC).
+"""
+
+from repro.baselines.runners import (
+    ig1_bcc,
+    ig1_ecc,
+    ig1_gmc3,
+    ig2_bcc,
+    ig2_ecc,
+    ig2_gmc3,
+    rand_bcc,
+    rand_ecc,
+    rand_gmc3,
+)
+from repro.baselines.selectors import IG1Selector, IG2Selector, RandomSelector
+
+__all__ = [
+    "rand_bcc",
+    "ig1_bcc",
+    "ig2_bcc",
+    "rand_gmc3",
+    "ig1_gmc3",
+    "ig2_gmc3",
+    "rand_ecc",
+    "ig1_ecc",
+    "ig2_ecc",
+    "RandomSelector",
+    "IG1Selector",
+    "IG2Selector",
+]

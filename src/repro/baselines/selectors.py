@@ -1,0 +1,184 @@
+"""Step selectors for the RAND / IG1 / IG2 baselines.
+
+A selector owns a :class:`~repro.core.coverage.CoverageTracker` and exposes
+``step(remaining)``: the next classifier set to add given the remaining
+budget (``None`` = unconstrained), or ``None`` when no affordable move is
+left.  The three stopping-mode drivers in :mod:`repro.baselines.runners`
+share these selectors.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.coverage import CoverageTracker
+from repro.core.model import Classifier, ClassifierWorkload, Query
+from repro.mc3.greedy import cheapest_residual_cover
+
+
+class BaseSelector:
+    """Shared state: tracker, feasible classifier pool, cost lookup."""
+
+    def __init__(self, workload: ClassifierWorkload) -> None:
+        self.workload = workload
+        self.tracker = CoverageTracker(workload)
+        self.pool: Set[Classifier] = {
+            c
+            for c in workload.relevant_classifiers()
+            if not math.isinf(workload.cost(c))
+        }
+
+    @property
+    def selected(self) -> FrozenSet[Classifier]:
+        """The classifiers selected so far."""
+        return self.tracker.selected
+
+    @property
+    def utility(self) -> float:
+        """Total utility of the covered queries."""
+        return self.tracker.utility
+
+    def cost_of(self, classifier: Classifier) -> float:
+        """Incremental cost of ``classifier`` (0 once selected)."""
+        if classifier in self.tracker.selected:
+            return 0.0
+        return self.workload.cost(classifier)
+
+    def add(self, classifiers: FrozenSet[Classifier]) -> float:
+        """Select ``classifiers``; returns the incremental cost paid."""
+        spent = 0.0
+        for classifier in classifiers:
+            spent += self.cost_of(classifier)
+            self.tracker.add(classifier)
+        return spent
+
+    def all_covered(self) -> bool:
+        """Whether every workload query is covered."""
+        return len(self.tracker.covered) == self.workload.num_queries
+
+    def step(self, remaining: Optional[float]) -> Optional[FrozenSet[Classifier]]:
+        raise NotImplementedError
+
+
+class RandomSelector(BaseSelector):
+    """RAND: a uniformly random affordable unselected classifier."""
+
+    def __init__(self, workload: ClassifierWorkload, seed: int = 0) -> None:
+        super().__init__(workload)
+        self._rng = random.Random(seed)
+        self._order = sorted(self.pool, key=sorted)
+        self._rng.shuffle(self._order)
+        self._cursor = 0
+
+    def step(self, remaining: Optional[float]) -> Optional[FrozenSet[Classifier]]:
+        # A pre-shuffled order is a uniform random permutation; skipping
+        # unaffordable entries preserves uniformity among affordable ones
+        # closely enough for a baseline while staying O(1) amortized.
+        skipped: List[Classifier] = []
+        chosen: Optional[Classifier] = None
+        while self._cursor < len(self._order):
+            candidate = self._order[self._cursor]
+            self._cursor += 1
+            if candidate in self.tracker.selected:
+                continue
+            if remaining is not None and self.workload.cost(candidate) > remaining + 1e-9:
+                skipped.append(candidate)
+                continue
+            chosen = candidate
+            break
+        # Unaffordable-now items go back behind the cursor: the remaining
+        # budget only shrinks, but other stopping modes may still use them.
+        self._order.extend(skipped)
+        return frozenset({chosen}) if chosen is not None else None
+
+
+class IG1Selector(BaseSelector):
+    """IG1: per-query greedy by utility / cheapest-residual-cover cost."""
+
+    def __init__(self, workload: ClassifierWorkload) -> None:
+        super().__init__(workload)
+        self._cover_cache: Dict[Query, Optional[Tuple[float, FrozenSet[Classifier]]]] = {}
+
+    def _candidates(self, query: Query) -> List[Tuple[Classifier, float]]:
+        from repro.core.model import powerset_classifiers
+
+        result = []
+        for classifier in powerset_classifiers(query):
+            cost = self.cost_of(classifier)
+            if not math.isinf(cost):
+                result.append((classifier, cost))
+        return result
+
+    def _cover(self, query: Query) -> Optional[Tuple[float, FrozenSet[Classifier]]]:
+        if query not in self._cover_cache:
+            covered = set(query) - set(self.tracker.missing_properties(query))
+            self._cover_cache[query] = cheapest_residual_cover(
+                query, self._candidates(query), covered
+            )
+        return self._cover_cache[query]
+
+    def _invalidate(self, classifiers: FrozenSet[Classifier]) -> None:
+        touched = set()
+        for classifier in classifiers:
+            touched |= classifier
+        stale = [
+            q for q in self._cover_cache if touched & q
+        ]
+        for query in stale:
+            del self._cover_cache[query]
+
+    def step(self, remaining: Optional[float]) -> Optional[FrozenSet[Classifier]]:
+        best_ratio = -1.0
+        best_cover: Optional[FrozenSet[Classifier]] = None
+        for query in self.workload.queries:
+            if self.tracker.is_query_covered(query):
+                continue
+            found = self._cover(query)
+            if found is None:
+                continue
+            cost, cover = found
+            if remaining is not None and cost > remaining + 1e-9:
+                continue
+            utility = self.workload.utility(query)
+            ratio = math.inf if cost == 0 else utility / cost
+            if ratio > best_ratio:
+                best_ratio = ratio
+                best_cover = cover
+        if best_cover is None:
+            return None
+        self._invalidate(best_cover)
+        return best_cover
+
+
+class IG2Selector(BaseSelector):
+    """IG2: per-classifier greedy by contained-uncovered-utility / cost."""
+
+    def _score(self, classifier: Classifier) -> float:
+        total = 0.0
+        for query in self.workload.queries_containing(classifier):
+            if not self.tracker.is_query_covered(query):
+                total += self.workload.utility(query)
+        return total
+
+    def step(self, remaining: Optional[float]) -> Optional[FrozenSet[Classifier]]:
+        best: Optional[Classifier] = None
+        best_key: Tuple[float, float] = (-1.0, -1.0)
+        for classifier in self.pool:
+            if classifier in self.tracker.selected:
+                continue
+            cost = self.workload.cost(classifier)
+            if remaining is not None and cost > remaining + 1e-9:
+                continue
+            utility_sum = self._score(classifier)
+            if utility_sum <= 0:
+                continue
+            ratio = math.inf if cost == 0 else utility_sum / cost
+            key = (ratio, utility_sum)
+            if key > best_key:
+                best_key = key
+                best = classifier
+        if best is None:
+            return None
+        return frozenset({best})

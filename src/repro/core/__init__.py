@@ -1,0 +1,64 @@
+"""Core problem model: properties, queries, classifiers, coverage, solutions."""
+
+from repro.core.errors import (
+    BudgetExceededError,
+    InfeasibleTargetError,
+    InvalidInstanceError,
+    ReproError,
+)
+from repro.core.model import (
+    BCCInstance,
+    Classifier,
+    ClassifierWorkload,
+    ECCInstance,
+    GMC3Instance,
+    Query,
+    powerset_classifiers,
+)
+from repro.core.coverage import (
+    CoverageTracker,
+    covered_queries,
+    i_covers,
+    is_covered,
+    is_minimal_cover,
+    minimal_covers,
+)
+from repro.core.properties import (
+    PropertySet,
+    format_props,
+    from_letters,
+    from_phrase,
+    props,
+    universe,
+)
+from repro.core.solution import Solution, best_solution, check_budget, evaluate
+
+__all__ = [
+    "ReproError",
+    "InvalidInstanceError",
+    "BudgetExceededError",
+    "InfeasibleTargetError",
+    "BCCInstance",
+    "GMC3Instance",
+    "ECCInstance",
+    "ClassifierWorkload",
+    "Classifier",
+    "Query",
+    "powerset_classifiers",
+    "CoverageTracker",
+    "covered_queries",
+    "is_covered",
+    "is_minimal_cover",
+    "minimal_covers",
+    "i_covers",
+    "PropertySet",
+    "props",
+    "from_letters",
+    "from_phrase",
+    "format_props",
+    "universe",
+    "Solution",
+    "evaluate",
+    "check_budget",
+    "best_solution",
+]

@@ -1,0 +1,183 @@
+"""Coverage semantics and minimal-cover enumeration.
+
+A query ``q`` is *covered* by a classifier set ``S`` iff some ``T ⊆ S`` has
+``⋃ T = q``.  Because only classifiers that are subsets of ``q`` can appear
+in such a ``T`` (anything else would add foreign properties), the test
+reduces to: the union of ``{c ∈ S : c ⊆ q}`` equals ``q``.
+
+An *i-cover* of ``q`` (Section 4.1) is a set of ``i`` classifiers covering
+``q`` such that no proper subset covers ``q`` — equivalently, every member
+contributes a property no other member has.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.model import Classifier, ClassifierWorkload, Query
+
+ClassifierSet = FrozenSet[Classifier]
+
+
+def is_covered(query: Query, classifiers: Iterable[Classifier]) -> bool:
+    """Whether ``query`` is covered by the classifier collection."""
+    remaining = set(query)
+    for classifier in classifiers:
+        if classifier <= query:
+            remaining -= classifier
+            if not remaining:
+                return True
+    return not remaining
+
+
+def covered_queries(
+    workload: ClassifierWorkload, classifiers: Iterable[Classifier]
+) -> Set[Query]:
+    """All workload queries covered by ``classifiers``."""
+    selected = list(classifiers)
+    return {q for q in workload.queries if is_covered(q, selected)}
+
+
+def is_minimal_cover(query: Query, cover: Iterable[Classifier]) -> bool:
+    """Whether ``cover`` covers ``query`` with no redundant member."""
+    members = list(cover)
+    union: Set[str] = set()
+    for classifier in members:
+        if not classifier <= query:
+            return False
+        union |= classifier
+    if union != set(query):
+        return False
+    for index in range(len(members)):
+        rest_union: Set[str] = set()
+        for other, classifier in enumerate(members):
+            if other != index:
+                rest_union |= classifier
+        if rest_union == set(query):
+            return False
+    return True
+
+
+def minimal_covers(
+    query: Query,
+    available: Optional[Iterable[Classifier]] = None,
+    max_size: Optional[int] = None,
+) -> List[ClassifierSet]:
+    """All minimal covers of ``query`` from ``available`` classifiers.
+
+    ``available`` defaults to the full power set ``2^q \\ ∅``.  The search
+    branches on the smallest uncovered property and keeps only covers that
+    pass the minimality check, so each returned set is a genuine minimal
+    cover and every minimal cover is returned exactly once.
+    """
+    if available is None:
+        from repro.core.model import powerset_classifiers
+
+        candidates = [c for c in powerset_classifiers(query)]
+    else:
+        candidates = [c for c in set(available) if c <= query]
+    if max_size is None:
+        max_size = len(query)
+
+    ordered_props = sorted(query)
+    by_property: Dict[str, List[Classifier]] = {p: [] for p in ordered_props}
+    for classifier in candidates:
+        for prop in classifier:
+            by_property[prop].append(classifier)
+
+    results: Set[ClassifierSet] = set()
+    target = set(query)
+
+    def search(covered: Set[str], chosen: Tuple[Classifier, ...]) -> None:
+        if covered == target:
+            cover = frozenset(chosen)
+            if is_minimal_cover(query, cover):
+                results.add(cover)
+            return
+        if len(chosen) >= max_size:
+            return
+        # Branch on the first property not yet covered.
+        pivot = next(p for p in ordered_props if p not in covered)
+        for classifier in by_property[pivot]:
+            if classifier in chosen:
+                continue
+            # Skip classifiers that add nothing new (cannot be minimal).
+            if classifier <= covered:
+                continue
+            search(covered | classifier, chosen + (classifier,))
+
+    search(set(), ())
+    return sorted(results, key=lambda cover: (len(cover), sorted(map(sorted, cover))))
+
+
+def i_covers(
+    query: Query,
+    size: int,
+    available: Optional[Iterable[Classifier]] = None,
+) -> List[ClassifierSet]:
+    """Minimal covers of ``query`` with exactly ``size`` classifiers."""
+    return [c for c in minimal_covers(query, available, max_size=size) if len(c) == size]
+
+
+class CoverageTracker:
+    """Incrementally tracks which queries a growing classifier set covers.
+
+    Adding a classifier updates, for each query that contains it, the set of
+    properties already covered; a query flips to covered when its missing
+    set empties.  Selection order does not matter and re-adding a classifier
+    is a no-op.
+    """
+
+    def __init__(self, workload: ClassifierWorkload) -> None:
+        self._workload = workload
+        self._missing: Dict[Query, Set[str]] = {q: set(q) for q in workload.queries}
+        self._covered: Set[Query] = set()
+        self._selected: Set[Classifier] = set()
+        self._utility = 0.0
+
+    @property
+    def selected(self) -> FrozenSet[Classifier]:
+        """The classifiers selected so far."""
+        return frozenset(self._selected)
+
+    @property
+    def covered(self) -> FrozenSet[Query]:
+        """The queries covered so far."""
+        return frozenset(self._covered)
+
+    @property
+    def utility(self) -> float:
+        """Total utility of the covered queries."""
+        return self._utility
+
+    def is_query_covered(self, query: Query) -> bool:
+        """Whether ``query`` is covered by the current selection."""
+        return query in self._covered
+
+    def missing_properties(self, query: Query) -> FrozenSet[str]:
+        """Properties of ``query`` not yet covered by any selected subset classifier."""
+        return frozenset(self._missing[query])
+
+    def add(self, classifier: Classifier) -> List[Query]:
+        """Select ``classifier``; return queries that became covered."""
+        if classifier in self._selected:
+            return []
+        self._selected.add(classifier)
+        newly_covered: List[Query] = []
+        for query in self._workload.queries_containing(classifier):
+            if query in self._covered:
+                continue
+            missing = self._missing[query]
+            missing -= classifier
+            if not missing:
+                self._covered.add(query)
+                self._utility += self._workload.utility(query)
+                newly_covered.append(query)
+        return newly_covered
+
+    def add_all(self, classifiers: Iterable[Classifier]) -> List[Query]:
+        """Select several classifiers; return all newly covered queries."""
+        newly: List[Query] = []
+        for classifier in classifiers:
+            newly.extend(self.add(classifier))
+        return newly

@@ -1,0 +1,19 @@
+"""Exception hierarchy for the BCC reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class InvalidInstanceError(ReproError):
+    """A problem instance violates the model's input contract."""
+
+
+class BudgetExceededError(ReproError):
+    """A produced solution exceeds the budget — indicates a solver bug."""
+
+
+class InfeasibleTargetError(ReproError):
+    """A GMC3 utility target exceeds the total achievable utility."""

@@ -1,0 +1,254 @@
+"""Problem instances: BCC, GMC3 and ECC.
+
+The input to the Budgeted Classifier Construction problem is the tuple
+``⟨Q, U, C, B⟩`` (Section 2.1): queries ``Q ⊆ 2^P``, utilities
+``U : Q → R+``, classifier costs ``C : CL → [0, ∞]`` and budget ``B``.
+The relevant classifier set ``CL = ⋃_{q∈Q} 2^q \\ ∅`` is derived, never
+supplied.  A cost of ``math.inf`` marks a classifier whose construction is
+impractical (excluded from every solution); a cost of ``0`` marks one that
+already exists.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections import Counter
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro.core.errors import InvalidInstanceError
+from repro.core.properties import PropertySet
+
+Query = PropertySet
+Classifier = PropertySet
+
+
+def _validate_query(query: Query) -> None:
+    if not isinstance(query, frozenset):
+        raise InvalidInstanceError(f"queries must be frozensets, got {type(query).__name__}")
+    if not query:
+        raise InvalidInstanceError("queries must contain at least one property")
+
+
+def powerset_classifiers(query: Query) -> Iterator[Classifier]:
+    """All classifiers relevant to ``query``: ``2^q`` minus the empty set."""
+    items = sorted(query)
+    for size in range(1, len(items) + 1):
+        for combo in itertools.combinations(items, size):
+            yield frozenset(combo)
+
+
+class ClassifierWorkload:
+    """The budget-free part of an instance: queries, utilities, costs.
+
+    Args:
+        queries: the query set (duplicates are rejected).
+        utilities: query -> positive utility.  Queries missing from the
+            mapping get ``default_utility``.
+        costs: classifier -> cost in ``[0, ∞]``.  Classifiers missing from
+            the mapping get ``default_cost`` (the paper's uniform-cost
+            convention when analysts supplied no estimates).
+        default_utility: utility for unlisted queries (must be positive).
+        default_cost: cost for unlisted classifiers (must be >= 0).
+    """
+
+    def __init__(
+        self,
+        queries: Iterable[Query],
+        utilities: Optional[Mapping[Query, float]] = None,
+        costs: Optional[Mapping[Classifier, float]] = None,
+        default_utility: float = 1.0,
+        default_cost: float = 1.0,
+    ) -> None:
+        query_list = list(queries)
+        seen = set()
+        for query in query_list:
+            _validate_query(query)
+            if query in seen:
+                raise InvalidInstanceError(f"duplicate query {sorted(query)}")
+            seen.add(query)
+        if not query_list:
+            raise InvalidInstanceError("the query set must not be empty")
+        if default_utility <= 0:
+            raise InvalidInstanceError("default utility must be positive")
+        if default_cost < 0:
+            raise InvalidInstanceError("default cost must be non-negative")
+
+        self.queries: Tuple[Query, ...] = tuple(query_list)
+        self._query_set = frozenset(query_list)
+        self._utilities: Dict[Query, float] = {}
+        for query, value in (utilities or {}).items():
+            if query not in self._query_set:
+                raise InvalidInstanceError(
+                    f"utility given for unknown query {sorted(query)}"
+                )
+            if not value > 0 or math.isinf(value):
+                raise InvalidInstanceError(
+                    f"utilities must be finite and positive, got {value} for {sorted(query)}"
+                )
+            self._utilities[query] = float(value)
+        self._costs: Dict[Classifier, float] = {}
+        for classifier, value in (costs or {}).items():
+            if not isinstance(classifier, frozenset) or not classifier:
+                raise InvalidInstanceError(
+                    f"classifier keys must be non-empty frozensets, got {classifier!r}"
+                )
+            if value < 0:
+                raise InvalidInstanceError(
+                    f"costs must be >= 0 (math.inf allowed), got {value}"
+                )
+            self._costs[classifier] = float(value)
+        self.default_utility = float(default_utility)
+        self.default_cost = float(default_cost)
+        self._relevant_cache: Optional[FrozenSet[Classifier]] = None
+        self._property_index: Optional[Dict[str, List[Query]]] = None
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def properties(self) -> PropertySet:
+        """The property universe ``P`` (union of all queries)."""
+        result: FrozenSet[str] = frozenset()
+        for query in self.queries:
+            result = result | query
+        return result
+
+    @property
+    def num_queries(self) -> int:
+        """Number of queries ``m``."""
+        return len(self.queries)
+
+    @property
+    def length(self) -> int:
+        """The length parameter ``l``: maximum query cardinality."""
+        return max(len(q) for q in self.queries)
+
+    def has_query(self, query: Query) -> bool:
+        """Whether ``query`` belongs to the workload."""
+        return query in self._query_set
+
+    def utility(self, query: Query) -> float:
+        """The utility of a workload query (default for unlisted ones)."""
+        if query not in self._query_set:
+            raise KeyError(f"unknown query {sorted(query)}")
+        return self._utilities.get(query, self.default_utility)
+
+    def cost(self, classifier: Classifier) -> float:
+        """The construction cost of ``classifier`` (default for unlisted ones)."""
+        return self._costs.get(classifier, self.default_cost)
+
+    def total_utility(self) -> float:
+        """Sum of all query utilities (the utility of covering everything)."""
+        return sum(self.utility(q) for q in self.queries)
+
+    # ------------------------------------------------------------------
+    # derived structure
+    # ------------------------------------------------------------------
+    def relevant_classifiers(self) -> FrozenSet[Classifier]:
+        """``CL = ⋃_{q∈Q} 2^q \\ ∅`` — every classifier that can help cover."""
+        if self._relevant_cache is None:
+            classifiers = set()
+            for query in self.queries:
+                classifiers.update(powerset_classifiers(query))
+            self._relevant_cache = frozenset(classifiers)
+        return self._relevant_cache
+
+    def feasible_classifiers(self) -> Iterator[Classifier]:
+        """Relevant classifiers of finite cost."""
+        for classifier in self.relevant_classifiers():
+            if not math.isinf(self.cost(classifier)):
+                yield classifier
+
+    def queries_containing(self, properties: PropertySet) -> List[Query]:
+        """Queries that are supersets of ``properties`` (candidate beneficiaries)."""
+        if self._property_index is None:
+            index: Dict[str, List[Query]] = {}
+            for query in self.queries:
+                for prop in query:
+                    index.setdefault(prop, []).append(query)
+            self._property_index = index
+        rarest = min(properties, key=lambda p: len(self._property_index.get(p, [])))
+        return [q for q in self._property_index.get(rarest, []) if properties <= q]
+
+    def length_histogram(self) -> Counter:
+        """Counter of query lengths."""
+        return Counter(len(q) for q in self.queries)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(m={self.num_queries}, n={len(self.properties)}, "
+            f"l={self.length})"
+        )
+
+
+class BCCInstance(ClassifierWorkload):
+    """A full BCC input ``⟨Q, U, C, B⟩`` (Section 2.1)."""
+
+    def __init__(
+        self,
+        queries: Iterable[Query],
+        utilities: Optional[Mapping[Query, float]] = None,
+        costs: Optional[Mapping[Classifier, float]] = None,
+        budget: float = 0.0,
+        default_utility: float = 1.0,
+        default_cost: float = 1.0,
+    ) -> None:
+        super().__init__(queries, utilities, costs, default_utility, default_cost)
+        if budget < 0 or math.isinf(budget) or math.isnan(budget):
+            raise InvalidInstanceError(f"budget must be finite and >= 0, got {budget}")
+        self.budget = float(budget)
+
+    def with_budget(self, budget: float) -> "BCCInstance":
+        """Same workload, different budget (shares no mutable state)."""
+        return BCCInstance(
+            self.queries,
+            self._utilities,
+            self._costs,
+            budget=budget,
+            default_utility=self.default_utility,
+            default_cost=self.default_cost,
+        )
+
+
+class GMC3Instance(ClassifierWorkload):
+    """Generalized MC3 input ``⟨Q, U, C, T⟩`` (Definition 5.1)."""
+
+    def __init__(
+        self,
+        queries: Iterable[Query],
+        utilities: Optional[Mapping[Query, float]] = None,
+        costs: Optional[Mapping[Classifier, float]] = None,
+        target: float = 0.0,
+        default_utility: float = 1.0,
+        default_cost: float = 1.0,
+    ) -> None:
+        super().__init__(queries, utilities, costs, default_utility, default_cost)
+        if target < 0 or math.isnan(target):
+            raise InvalidInstanceError(f"target must be >= 0, got {target}")
+        self.target = float(target)
+
+    def as_bcc(self, budget: float) -> BCCInstance:
+        """The same workload viewed as a BCC instance with ``budget``."""
+        return BCCInstance(
+            self.queries,
+            self._utilities,
+            self._costs,
+            budget=budget,
+            default_utility=self.default_utility,
+            default_cost=self.default_cost,
+        )
+
+
+class ECCInstance(ClassifierWorkload):
+    """Effective Classifier Construction input ``⟨Q, U, C⟩`` (Definition 5.2)."""
+
+    def as_bcc(self, budget: float) -> BCCInstance:
+        return BCCInstance(
+            self.queries,
+            self._utilities,
+            self._costs,
+            budget=budget,
+            default_utility=self.default_utility,
+            default_cost=self.default_cost,
+        )

@@ -1,0 +1,56 @@
+"""Property sets: the shared vocabulary of queries and classifiers.
+
+Both a query and a classifier are fully captured by a set of *properties*
+(Section 2.1 of the paper), so the library represents both as
+``frozenset[str]``.  This module provides construction helpers and the
+paper's compact letter notation (query ``xyz`` / classifier ``XYZ``).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+PropertySet = FrozenSet[str]
+
+
+def props(*names: str) -> PropertySet:
+    """Build a property set from explicit names: ``props("wooden", "table")``."""
+    if not names:
+        raise ValueError("a property set must contain at least one property")
+    for name in names:
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"property names must be non-empty strings, got {name!r}")
+    return frozenset(names)
+
+
+def from_letters(letters: str) -> PropertySet:
+    """Paper notation: ``from_letters("xyz")`` is the set ``{x, y, z}``.
+
+    Case-insensitive, so ``"XYZ"`` (a classifier in the paper's notation)
+    and ``"xyz"`` (a query) denote the same property set.
+    """
+    if not letters:
+        raise ValueError("letter notation requires at least one letter")
+    return frozenset(letters.lower())
+
+
+def from_phrase(phrase: str) -> PropertySet:
+    """Whitespace-separated names: ``from_phrase("wooden table")``."""
+    tokens = phrase.split()
+    if not tokens:
+        raise ValueError("phrase must contain at least one property token")
+    return frozenset(tokens)
+
+
+def format_props(properties: PropertySet, classifier: bool = False) -> str:
+    """Render a property set in the paper's notation (sorted for determinism)."""
+    joined = "".join(sorted(properties)) if all(len(p) == 1 for p in properties) else " ".join(sorted(properties))
+    return joined.upper() if classifier else joined
+
+
+def universe(collections: Iterable[PropertySet]) -> PropertySet:
+    """Union of all property sets — the property universe ``P``."""
+    result: FrozenSet[str] = frozenset()
+    for properties in collections:
+        result = result | properties
+    return result

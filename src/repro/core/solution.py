@@ -1,0 +1,102 @@
+"""Solution objects and evaluation helpers shared by every solver."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional
+
+from repro.core.coverage import covered_queries
+from repro.core.errors import BudgetExceededError
+from repro.core.model import BCCInstance, Classifier, ClassifierWorkload, Query
+
+
+@dataclass(frozen=True)
+class Solution:
+    """An evaluated classifier selection.
+
+    Attributes:
+        classifiers: the selected classifier set.
+        cost: total construction cost (sum of member costs).
+        utility: total utility of the covered queries.
+        covered: the covered query set.
+        meta: free-form diagnostics recorded by the producing solver
+            (iteration counts, subproblem values, timings).
+    """
+
+    classifiers: FrozenSet[Classifier]
+    cost: float
+    utility: float
+    covered: FrozenSet[Query]
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    @property
+    def ratio(self) -> float:
+        """Utility-to-cost ratio (the ECC objective); ``inf`` at zero cost."""
+        if self.cost == 0:
+            return math.inf if self.utility > 0 else 0.0
+        return self.utility / self.cost
+
+    def __len__(self) -> int:
+        return len(self.classifiers)
+
+    def describe(self, max_items: int = 10) -> str:
+        """Human-readable multi-line summary (used by the examples)."""
+        from repro.core.properties import format_props
+
+        lines = [
+            f"classifiers: {len(self.classifiers)}  "
+            f"cost: {self.cost:g}  utility: {self.utility:g}  "
+            f"covered queries: {len(self.covered)}"
+        ]
+        shown = sorted(self.classifiers, key=sorted)[:max_items]
+        for classifier in shown:
+            lines.append(f"  + {format_props(classifier, classifier=True)}")
+        hidden = len(self.classifiers) - len(shown)
+        if hidden > 0:
+            lines.append(f"  ... and {hidden} more")
+        return "\n".join(lines)
+
+
+def evaluate(
+    workload: ClassifierWorkload,
+    classifiers: Iterable[Classifier],
+    meta: Optional[Dict[str, object]] = None,
+) -> Solution:
+    """Evaluate a classifier set against ``workload`` from first principles.
+
+    This is the single source of truth for solution quality: every solver's
+    output is re-scored here, so bookkeeping bugs inside a solver cannot
+    inflate reported utility.
+    """
+    selected = frozenset(classifiers)
+    covered = frozenset(covered_queries(workload, selected))
+    cost = sum(workload.cost(c) for c in selected)
+    utility = sum(workload.utility(q) for q in covered)
+    return Solution(
+        classifiers=selected,
+        cost=cost,
+        utility=utility,
+        covered=covered,
+        meta=dict(meta or {}),
+    )
+
+
+def check_budget(instance: BCCInstance, solution: Solution, slack: float = 1e-9) -> None:
+    """Raise :class:`BudgetExceededError` if ``solution`` violates the budget.
+
+    A tiny relative ``slack`` absorbs floating-point accumulation.
+    """
+    allowed = instance.budget * (1.0 + slack) + slack
+    if solution.cost > allowed:
+        raise BudgetExceededError(
+            f"solution cost {solution.cost} exceeds budget {instance.budget}"
+        )
+
+
+def best_solution(*solutions: Optional[Solution]) -> Solution:
+    """The highest-utility solution among the given ones (ties: lower cost)."""
+    candidates = [s for s in solutions if s is not None]
+    if not candidates:
+        raise ValueError("best_solution requires at least one non-None solution")
+    return max(candidates, key=lambda s: (s.utility, -s.cost))

@@ -1,0 +1,36 @@
+"""Dataset generators and serialization.
+
+The paper evaluates on three datasets (Section 6.1).  The BestBuy file and
+the eBay private dataset are not distributable, so this package provides
+*seeded generators that reproduce their published marginal statistics* (see
+DESIGN.md, "Substitutions"); the synthetic dataset is generated exactly per
+the paper's specification.
+
+- :mod:`repro.datasets.bestbuy` — BestBuy-like: ~1000 queries, 725
+  properties, 65% singletons, >=95% length <= 2, search-frequency
+  (Zipf-like) utilities, uniform costs.
+- :mod:`repro.datasets.private_like` — Private-like: 5K queries, 2K
+  properties, lengths 1-5 (avg ~1.7), analyst costs in [0, 50] (avg ~8),
+  utilities in [1, 50], category blocks, popular-subquery correlation.
+- :mod:`repro.datasets.synthetic` — the paper's synthetic spec: length ``i``
+  w.p. ``2^-i`` capped at 6, costs ~ U{0..50}, utilities ~ U{1..50},
+  10K property pool.
+- :mod:`repro.datasets.schema` — JSON round-trip for instances.
+"""
+
+from repro.datasets.bestbuy import generate_bestbuy
+from repro.datasets.private_like import generate_private
+from repro.datasets.synthetic import generate_synthetic
+from repro.datasets.schema import instance_from_json, instance_to_json, load_instance, save_instance
+from repro.datasets.stats import dataset_stats
+
+__all__ = [
+    "generate_bestbuy",
+    "generate_private",
+    "generate_synthetic",
+    "instance_to_json",
+    "instance_from_json",
+    "save_instance",
+    "load_instance",
+    "dataset_stats",
+]

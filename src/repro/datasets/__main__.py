@@ -1,0 +1,73 @@
+"""Dataset CLI: generate, inspect and save workloads.
+
+Examples::
+
+    python -m repro.datasets generate --kind bb --out bb.json
+    python -m repro.datasets generate --kind private --queries 500 --properties 800 --seed 3 --out p.json
+    python -m repro.datasets stats bb.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.datasets import (
+    dataset_stats,
+    generate_bestbuy,
+    generate_private,
+    generate_synthetic,
+    load_instance,
+    save_instance,
+)
+
+_GENERATORS = {
+    "bb": generate_bestbuy,
+    "private": generate_private,
+    "synthetic": generate_synthetic,
+}
+
+_DEFAULT_SIZES = {
+    "bb": (1000, 725),
+    "private": (5000, 2000),
+    "synthetic": (10_000, 6_200),
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(prog="python -m repro.datasets")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a dataset and save it")
+    gen.add_argument("--kind", choices=sorted(_GENERATORS), required=True)
+    gen.add_argument("--queries", type=int, default=0)
+    gen.add_argument("--properties", type=int, default=0)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True, help="output JSON path")
+
+    stats = sub.add_parser("stats", help="print statistics of a saved dataset")
+    stats.add_argument("path")
+
+    args = parser.parse_args(argv)
+    if args.command == "generate":
+        queries, properties = _DEFAULT_SIZES[args.kind]
+        if args.queries:
+            queries = args.queries
+        if args.properties:
+            properties = args.properties
+        instance = _GENERATORS[args.kind](queries, properties, seed=args.seed)
+        save_instance(instance, args.out)
+        print(f"wrote {args.kind} dataset ({queries} queries) to {args.out}")
+        return 0
+    if args.command == "stats":
+        instance = load_instance(args.path)
+        print(json.dumps(dataset_stats(instance), indent=2, default=str))
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

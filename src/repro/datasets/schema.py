@@ -1,0 +1,75 @@
+"""JSON serialization of BCC instances.
+
+Property sets are stored as sorted lists; infinite costs as the string
+``"inf"``.  The format is stable and human-readable so generated datasets
+can be saved, inspected and reloaded across sessions.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.model import BCCInstance
+
+FORMAT_VERSION = 1
+
+
+def instance_to_json(instance: BCCInstance) -> Dict[str, Any]:
+    """Serialize ``instance`` to a JSON-compatible dict."""
+    return {
+        "format": FORMAT_VERSION,
+        "budget": instance.budget,
+        "default_utility": instance.default_utility,
+        "default_cost": instance.default_cost,
+        "queries": [
+            {"props": sorted(q), "utility": instance.utility(q)}
+            for q in instance.queries
+        ],
+        "costs": [
+            {
+                "props": sorted(classifier),
+                "cost": "inf" if math.isinf(cost) else cost,
+            }
+            for classifier, cost in sorted(
+                instance._costs.items(), key=lambda kv: sorted(kv[0])
+            )
+        ],
+    }
+
+
+def instance_from_json(payload: Dict[str, Any]) -> BCCInstance:
+    """Rebuild a :class:`BCCInstance` from :func:`instance_to_json` output."""
+    if payload.get("format") != FORMAT_VERSION:
+        raise ValueError(f"unsupported format {payload.get('format')!r}")
+    queries = [frozenset(entry["props"]) for entry in payload["queries"]]
+    utilities = {
+        frozenset(entry["props"]): float(entry["utility"])
+        for entry in payload["queries"]
+    }
+    costs = {}
+    for entry in payload["costs"]:
+        value = entry["cost"]
+        costs[frozenset(entry["props"])] = (
+            math.inf if value == "inf" else float(value)
+        )
+    return BCCInstance(
+        queries,
+        utilities,
+        costs,
+        budget=float(payload["budget"]),
+        default_utility=float(payload.get("default_utility", 1.0)),
+        default_cost=float(payload.get("default_cost", 1.0)),
+    )
+
+
+def save_instance(instance: BCCInstance, path: Union[str, Path]) -> None:
+    """Write ``instance`` to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(instance_to_json(instance)))
+
+
+def load_instance(path: Union[str, Path]) -> BCCInstance:
+    """Read an instance previously written by :func:`save_instance`."""
+    return instance_from_json(json.loads(Path(path).read_text()))

@@ -1,0 +1,41 @@
+"""Summary statistics for datasets — used by tests to check generator
+marginals against the figures the paper reports (Section 6.1)."""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict
+
+from repro.core.model import ClassifierWorkload
+
+
+def dataset_stats(workload: ClassifierWorkload) -> Dict[str, Any]:
+    """Marginal statistics of a workload.
+
+    Keys: ``num_queries``, ``num_properties``, ``avg_length``,
+    ``frac_length_1``, ``frac_length_le_2``, ``total_utility``,
+    ``max_utility``, cost summary over finite explicit costs.
+    """
+    histogram = workload.length_histogram()
+    m = workload.num_queries
+    total_length = sum(length * count for length, count in histogram.items())
+    finite_costs = [
+        c for c in workload._costs.values() if not math.isinf(c)
+    ]
+    infinite = sum(1 for c in workload._costs.values() if math.isinf(c))
+    return {
+        "num_queries": m,
+        "num_properties": len(workload.properties),
+        "max_length": workload.length,
+        "avg_length": total_length / m,
+        "frac_length_1": histogram.get(1, 0) / m,
+        "frac_length_le_2": (histogram.get(1, 0) + histogram.get(2, 0)) / m,
+        "total_utility": workload.total_utility(),
+        "max_utility": max(workload.utility(q) for q in workload.queries),
+        "num_explicit_costs": len(workload._costs),
+        "num_impractical": infinite,
+        "avg_finite_cost": (
+            sum(finite_costs) / len(finite_costs) if finite_costs else None
+        ),
+        "max_finite_cost": max(finite_costs) if finite_costs else None,
+    }

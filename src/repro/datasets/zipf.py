@@ -1,0 +1,43 @@
+"""Zipf-style popularity helpers shared by the dataset generators."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def zipf_utilities(count: int, top: float, exponent: float = 1.0) -> List[float]:
+    """Rank-based search-frequency utilities: ``max(1, top / rank^exponent)``.
+
+    Models the classic long-tail search-log shape: a few very popular
+    queries and a large floor of rarely-searched ones.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    if top < 1:
+        raise ValueError(f"top must be >= 1, got {top}")
+    return [max(1.0, round(top / (rank**exponent))) for rank in range(1, count + 1)]
+
+
+def zipf_weights(count: int, exponent: float = 1.0) -> List[float]:
+    """Unnormalized Zipf weights ``1 / rank^exponent``."""
+    return [1.0 / (rank**exponent) for rank in range(1, count + 1)]
+
+
+def weighted_sample_distinct(
+    rng: random.Random, items: Sequence[T], weights: Sequence[float], k: int
+) -> List[T]:
+    """Sample ``k`` distinct items with probability proportional to weight."""
+    if k > len(items):
+        raise ValueError(f"cannot sample {k} distinct items from {len(items)}")
+    chosen: List[T] = []
+    taken = set()
+    # Rejection sampling is fast because k is tiny (query length <= 6).
+    while len(chosen) < k:
+        item = rng.choices(items, weights=weights, k=1)[0]
+        if item not in taken:
+            taken.add(item)
+            chosen.append(item)
+    return chosen

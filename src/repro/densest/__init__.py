@@ -1,0 +1,14 @@
+"""Densest-subgraph (DS) solvers — the substrate of ``A^ECC``.
+
+DS here is the *ratio* version used in Section 5: maximize the sum of edge
+(or hyperedge) weights fully inside ``S`` divided by the sum of node costs
+of ``S``.  The graph case is solved exactly (binary search on the ratio +
+project-selection min-cut, polynomial time as [35] promises); weighted
+hypergraphs get the classical greedy peeling ``r``-approximation, which is
+also what the paper itself used in its experiments.
+"""
+
+from repro.densest.exact_flow import solve_densest_exact
+from repro.densest.peeling import solve_densest_peeling
+
+__all__ = ["solve_densest_exact", "solve_densest_peeling"]

@@ -1,0 +1,80 @@
+"""Exact weighted densest subgraph via parametric min-cut.
+
+For a guess ``lam`` of the optimal ratio, the question "is there a set
+``S`` with ``w(S) - lam * c(S) > 0``?" is a project-selection instance
+(edges are projects with their weight as revenue; nodes are machines with
+cost ``lam * c(v)``).  Binary search on ``lam`` converges to the optimum;
+the selection at the highest feasible ``lam`` is returned.
+
+Zero-cost nodes are handled exactly: a positive-weight subgraph of zero
+total cost has infinite ratio and is returned directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, Set, Tuple
+
+from repro.flow import ProjectSelection
+from repro.graphs.graph import Node, WeightedGraph
+
+
+def _free_positive_subgraph(graph: WeightedGraph) -> FrozenSet[Node]:
+    """Zero-cost nodes carrying positive induced weight, if any."""
+    free = {v for v in graph.nodes if graph.cost(v) == 0.0}
+    if graph.induced_weight(free) > 0:
+        return frozenset(free)
+    return frozenset()
+
+
+def _best_for_ratio(
+    graph: WeightedGraph, lam: float
+) -> Tuple[float, Set[Node]]:
+    """Max of ``w(S) - lam * c(S)`` and an argmax set (may be empty)."""
+    instance = ProjectSelection()
+    for v in graph.nodes:
+        instance.add_machine(v, lam * graph.cost(v))
+    for index, (u, v, w) in enumerate(graph.edges()):
+        instance.add_project(index, w, (u, v))
+    profit, _, machines = instance.solve()
+    return profit, machines
+
+
+def solve_densest_exact(
+    graph: WeightedGraph, tolerance: float = 1e-7, max_iters: int = 80
+) -> Tuple[float, FrozenSet[Node]]:
+    """Return ``(best ratio, node set)`` maximizing induced weight / cost.
+
+    The empty set has ratio 0 by convention; a positive-weight zero-cost
+    subgraph yields ``(inf, that set)``.
+    """
+    if graph.num_edges() == 0:
+        return 0.0, frozenset()
+    free = _free_positive_subgraph(graph)
+    if free:
+        return math.inf, free
+
+    total_weight = graph.total_edge_weight()
+    positive_costs = [graph.cost(v) for v in graph.nodes if graph.cost(v) > 0]
+    lo, hi = 0.0, total_weight / min(positive_costs)
+    best_set: Set[Node] = set()
+    for _ in range(max_iters):
+        lam = 0.5 * (lo + hi)
+        profit, selection = _best_for_ratio(graph, lam)
+        if profit > tolerance and selection:
+            lo = lam
+            best_set = selection
+        else:
+            hi = lam
+        if hi - lo <= tolerance * max(1.0, hi):
+            break
+    if not best_set:
+        # Ratio below the first midpoint: fall back to the best single edge.
+        best_edge = max(graph.edges(), key=lambda e: e[2] / max(
+            graph.cost(e[0]) + graph.cost(e[1]), 1e-12
+        ))
+        best_set = {best_edge[0], best_edge[1]}
+    cost = graph.induced_cost(best_set)
+    weight = graph.induced_weight(best_set)
+    ratio = math.inf if cost == 0 else weight / cost
+    return ratio, frozenset(best_set)

@@ -1,0 +1,66 @@
+"""Greedy forward-expansion heuristic for HkS.
+
+Seed the solution with the heaviest edge, then repeatedly add the node with
+the largest weighted degree *into the current selection*, breaking ties by
+overall weighted degree so early picks prefer well-connected nodes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import FrozenSet, Optional
+
+from repro.graphs.graph import Node, WeightedGraph
+
+
+def solve_expansion(
+    graph: WeightedGraph, k: int, rng: Optional[random.Random] = None
+) -> FrozenSet[Node]:
+    """Heaviest-k-subgraph by greedy node addition from the heaviest edge."""
+    if k <= 0:
+        return frozenset()
+    nodes = list(graph.nodes)
+    if len(nodes) <= k:
+        return frozenset(nodes)
+
+    best_edge = None
+    best_weight = -1.0
+    for u, v, w in graph.edges():
+        if w > best_weight:
+            best_weight = w
+            best_edge = (u, v)
+
+    if best_edge is None:
+        # Edgeless graph: any k nodes induce weight 0.
+        return frozenset(nodes[:k])
+
+    if k == 1:
+        # A single node induces no edges; pick the max-degree node anyway so
+        # downstream local search has a sensible start.
+        top = max(nodes, key=lambda u: (graph.weighted_degree(u), repr(u)))
+        return frozenset({top})
+
+    selected = set(best_edge)
+    # gain[u] = weighted degree of u into `selected`
+    gain = {}
+    for u in selected:
+        for v, w in graph.neighbors(u).items():
+            if v not in selected:
+                gain[v] = gain.get(v, 0.0) + w
+
+    while len(selected) < k:
+        if gain:
+            candidate = max(
+                gain, key=lambda u: (gain[u], graph.weighted_degree(u), repr(u))
+            )
+        else:
+            outside = [u for u in nodes if u not in selected]
+            candidate = max(
+                outside, key=lambda u: (graph.weighted_degree(u), repr(u))
+            )
+        selected.add(candidate)
+        gain.pop(candidate, None)
+        for v, w in graph.neighbors(candidate).items():
+            if v not in selected:
+                gain[v] = gain.get(v, 0.0) + w
+    return frozenset(selected)

@@ -1,0 +1,44 @@
+"""Greedy peeling heuristic for HkS.
+
+Repeatedly remove the node of minimum weighted degree until exactly ``k``
+nodes remain.  This is the classic Asahiro/Charikar-style "remove the worst"
+strategy; with a lazy heap the running time is ``O(m log n)``.
+
+Because the induced weight is monotone under adding nodes, the heaviest
+subgraph on *at most* ``k`` nodes can be assumed to have exactly
+``min(k, n)`` nodes, so peeling down to ``k`` is the natural stopping rule.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import FrozenSet, Optional
+
+from repro.graphs.graph import Node, WeightedGraph
+
+
+def solve_peeling(
+    graph: WeightedGraph, k: int, rng: Optional[random.Random] = None
+) -> FrozenSet[Node]:
+    """Heaviest-k-subgraph by greedy min-weighted-degree peeling."""
+    if k <= 0:
+        return frozenset()
+    alive = set(graph.nodes)
+    if len(alive) <= k:
+        return frozenset(alive)
+
+    degree = {u: graph.weighted_degree(u) for u in alive}
+    heap = [(d, repr(u), u) for u, d in degree.items()]
+    heapq.heapify(heap)
+
+    while len(alive) > k:
+        d, _, u = heapq.heappop(heap)
+        if u not in alive or d > degree[u] + 1e-12:
+            continue  # stale heap entry
+        alive.discard(u)
+        for v, w in graph.neighbors(u).items():
+            if v in alive:
+                degree[v] -= w
+                heapq.heappush(heap, (degree[v], repr(v), v))
+    return frozenset(alive)

@@ -1,0 +1,60 @@
+"""Euclidean projection onto the capped simplex ``{x in [0,1]^n : sum x = k}``.
+
+The feasible set of the continuous HkS relaxation.  The projection of ``y``
+has the form ``x_i = clip(y_i - tau, 0, 1)`` for the unique shift ``tau``
+making the coordinates sum to ``k``; we find ``tau`` by bisection on the
+monotone function ``tau -> sum_i clip(y_i - tau, 0, 1)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def project_capped_simplex(y: np.ndarray, k: float, tol: float = 1e-10) -> np.ndarray:
+    """Project ``y`` onto ``{x in [0,1]^n : sum(x) = k}``.
+
+    Raises:
+        ValueError: if ``k`` is outside ``[0, n]`` (the set is empty).
+    """
+    y = np.asarray(y, dtype=float)
+    n = y.size
+    if not 0.0 <= k <= n:
+        raise ValueError(f"k={k} outside [0, {n}]: capped simplex is empty")
+    if k == 0.0:
+        return np.zeros(n)
+    if k == float(n):
+        return np.ones(n)
+
+    def mass(tau: float) -> float:
+        return float(np.clip(y - tau, 0.0, 1.0).sum())
+
+    # sum is non-increasing in tau; bracket the root.
+    lo = float(y.min()) - 1.0  # mass(lo) >= ... >= k eventually: mass(lo)=n>=k
+    hi = float(y.max())        # mass(hi) = 0 <= k
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if mass(mid) > k:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol:
+            break
+    x = np.clip(y - 0.5 * (lo + hi), 0.0, 1.0)
+    # Final mass correction: distribute any residual over interior coords.
+    residual = k - float(x.sum())
+    if abs(residual) > 0:
+        interior = (x > 0.0) & (x < 1.0)
+        if interior.any():
+            x[interior] += residual / int(interior.sum())
+            x = np.clip(x, 0.0, 1.0)
+    return x
+
+
+def top_k_indices(x: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest entries of ``x`` (deterministic ties)."""
+    if k <= 0:
+        return np.empty(0, dtype=int)
+    k = min(k, x.size)
+    order = np.argsort(-x, kind="stable")
+    return order[:k]

@@ -1,0 +1,7 @@
+"""Module entry point for ``python -m repro.experiments``."""
+
+import sys
+
+from repro.experiments.cli import main
+
+sys.exit(main())

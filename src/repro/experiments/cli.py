@@ -1,0 +1,61 @@
+"""Command line entry point: ``python -m repro.experiments <figure> [...]``.
+
+Examples::
+
+    python -m repro.experiments fig3a
+    python -m repro.experiments fig3b --scale paper --seed 7
+    python -m repro.experiments all --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.report import render_bars, render_table, render_timings
+from repro.experiments.scales import SCALES
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(ALL_FIGURES) + ["all"],
+        help="figure id from the paper, or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="small",
+        help="experiment size (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="dataset seed")
+    parser.add_argument(
+        "--timings", action="store_true", help="also print per-cell runtimes"
+    )
+    parser.add_argument(
+        "--bars", action="store_true", help="render ASCII bar charts too"
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
+    scale = SCALES[args.scale]
+    for name in names:
+        result = ALL_FIGURES[name](scale=scale, seed=args.seed)
+        print(render_table(result))
+        if args.bars:
+            print(render_bars(result))
+        if args.timings:
+            print(render_timings(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

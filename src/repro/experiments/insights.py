@@ -1,0 +1,56 @@
+"""The textual insights the paper reports alongside Figure 3 (Section 6.2).
+
+- *Diminishing returns*: utility grows sublinearly in the budget.
+- A large utility fraction is reachable well below the MC3 full-cover
+  budget (paper: 75% of P's utility at half the full-cover cost; 65% at
+  the real quarterly budget of ~a quarter of it).
+- Covered-utility split by query length at the "real" budget (paper:
+  ~51% from length-2 queries, ~47% from singletons at B=2000 on P).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.algorithms import solve_bcc
+from repro.core.model import BCCInstance
+from repro.mc3 import full_cover_cost
+
+
+def utility_curve(
+    base: BCCInstance, fractions: Tuple[float, ...] = (0.25, 0.5, 0.75, 1.0)
+) -> List[Tuple[float, float]]:
+    """``(budget fraction of full-cover cost, utility fraction of total)``."""
+    full_cost = full_cover_cost(base)
+    total = base.total_utility()
+    curve = []
+    for fraction in fractions:
+        instance = base.with_budget(max(1.0, round(full_cost * fraction)))
+        solution = solve_bcc(instance)
+        curve.append((fraction, solution.utility / total))
+    return curve
+
+
+def diminishing_returns(curve: List[Tuple[float, float]]) -> bool:
+    """Whether marginal utility per budget unit is non-increasing.
+
+    Allows a small tolerance: the solver is a heuristic, so tiny local
+    inversions are possible.
+    """
+    rates = []
+    prev_x, prev_y = 0.0, 0.0
+    for x, y in curve:
+        rates.append((y - prev_y) / max(x - prev_x, 1e-9))
+        prev_x, prev_y = x, y
+    return all(later <= earlier * 1.1 for earlier, later in zip(rates, rates[1:]))
+
+
+def coverage_split_by_length(base: BCCInstance, budget: float) -> Dict[int, float]:
+    """Fraction of covered utility per query length at ``budget``."""
+    solution = solve_bcc(base.with_budget(budget))
+    if solution.utility == 0:
+        return {}
+    split: Dict[int, float] = {}
+    for query in solution.covered:
+        split[len(query)] = split.get(len(query), 0.0) + base.utility(query)
+    return {length: value / solution.utility for length, value in split.items()}

@@ -1,0 +1,86 @@
+"""ASCII rendering of figure results (the paper's bar charts as tables)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.runner import FigureResult
+
+
+def render_table(result: FigureResult, precision: int = 1) -> str:
+    """A table with one row per x-value and one column per algorithm."""
+    algorithms = result.algorithms()
+    header = [result.x_label] + algorithms
+    lines: List[List[str]] = [header]
+    for x in result.x_values():
+        line = [str(x)]
+        for algorithm in algorithms:
+            value = result.value_at(x, algorithm)
+            line.append("-" if value is None else f"{value:.{precision}f}")
+        lines.append(line)
+
+    widths = [max(len(row[i]) for row in lines) for i in range(len(header))]
+
+    def fmt(row: List[str]) -> str:
+        return " | ".join(cell.rjust(width) for cell, width in zip(row, widths))
+
+    separator = "-+-".join("-" * width for width in widths)
+    out = [
+        f"== {result.figure}: {result.title} ==",
+        f"   ({result.value_label})",
+        fmt(lines[0]),
+        separator,
+    ]
+    out.extend(fmt(line) for line in lines[1:])
+    for note in result.notes:
+        out.append(f"note: {note}")
+    return "\n".join(out)
+
+
+def render_bars(result: FigureResult, width: int = 40) -> str:
+    """ASCII bar chart: one bar per (x, algorithm) cell, paper-figure style."""
+    finite = [row.value for row in result.rows if row.value == row.value and row.value != float("inf")]
+    if not finite:
+        return f"== {result.figure}: (no finite values) =="
+    peak = max(finite) or 1.0
+    label_width = max(
+        len(f"{x} {name}") for x in result.x_values() for name in result.algorithms()
+    )
+    lines = [f"== {result.figure}: {result.title} =="]
+    for x in result.x_values():
+        for name in result.algorithms():
+            value = result.value_at(x, name)
+            if value is None:
+                continue
+            if value == float("inf"):
+                bar, shown = "∞", "inf"
+            else:
+                bar = "#" * max(1, int(round(width * value / peak))) if value > 0 else ""
+                shown = f"{value:.1f}"
+            lines.append(f"{f'{x} {name}':>{label_width}} | {bar} {shown}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_timings(result: FigureResult, precision: int = 2) -> str:
+    """Same layout but showing wall-clock seconds per cell."""
+    algorithms = result.algorithms()
+    lines = [[result.x_label] + algorithms]
+    for x in result.x_values():
+        line = [str(x)]
+        for algorithm in algorithms:
+            cells = [
+                row.seconds
+                for row in result.rows
+                if row.x == x and row.algorithm == algorithm
+            ]
+            line.append("-" if not cells else f"{cells[0]:.{precision}f}s")
+        lines.append(line)
+    widths = [max(len(row[i]) for row in lines) for i in range(len(lines[0]))]
+
+    def fmt(row):
+        return " | ".join(cell.rjust(width) for cell, width in zip(row, widths))
+
+    out = [f"== {result.figure}: timings ==", fmt(lines[0])]
+    out.extend(fmt(line) for line in lines[1:])
+    return "\n".join(out)

@@ -1,0 +1,96 @@
+"""Shared experiment infrastructure: timing, result records, sweeps."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.solution import Solution
+
+
+@dataclass
+class Row:
+    """One (x-value, algorithm) cell of a figure."""
+
+    x: Any
+    algorithm: str
+    value: float
+    seconds: float
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class FigureResult:
+    """All rows of one reproduced figure plus free-form notes."""
+
+    figure: str
+    title: str
+    x_label: str
+    value_label: str
+    rows: List[Row] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, x: Any, algorithm: str, value: float, seconds: float, **extra: Any) -> None:
+        """Append one cell."""
+        self.rows.append(Row(x, algorithm, value, seconds, extra))
+
+    def series(self, algorithm: str) -> List[Tuple[Any, float]]:
+        """The ``(x, value)`` series of one algorithm, in insertion order."""
+        return [(row.x, row.value) for row in self.rows if row.algorithm == algorithm]
+
+    def algorithms(self) -> List[str]:
+        """Algorithm names in first-appearance order."""
+        seen: List[str] = []
+        for row in self.rows:
+            if row.algorithm not in seen:
+                seen.append(row.algorithm)
+        return seen
+
+    def x_values(self) -> List[Any]:
+        """X values in first-appearance order."""
+        seen: List[Any] = []
+        for row in self.rows:
+            if row.x not in seen:
+                seen.append(row.x)
+        return seen
+
+    def value_at(self, x: Any, algorithm: str) -> Optional[float]:
+        """The value of one cell, or ``None`` if absent."""
+        for row in self.rows:
+            if row.x == x and row.algorithm == algorithm:
+                return row.value
+        return None
+
+
+def timed(fn: Callable[[], Solution]) -> Tuple[Solution, float]:
+    """Run ``fn`` and return ``(result, wall seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def averaged_random(
+    run: Callable[[int], Solution], repeats: int = 5
+) -> Tuple[float, float, Solution]:
+    """Average a randomized baseline over ``repeats`` seeds (paper: 5).
+
+    Returns ``(mean value, total seconds, last solution)``; the caller
+    decides whether value means utility, cost or ratio via ``run``.
+    """
+    total_value = 0.0
+    total_seconds = 0.0
+    last: Optional[Solution] = None
+    for seed in range(repeats):
+        start = time.perf_counter()
+        solution = run(seed)
+        total_seconds += time.perf_counter() - start
+        total_value += solution.utility
+        last = solution
+    assert last is not None
+    return total_value / repeats, total_seconds, last
+
+
+def budget_sweep(full_cost: float, fractions: Tuple[float, ...]) -> List[float]:
+    """Budget values as fractions of the MC3 full-cover cost (Section 6.1)."""
+    return [max(1.0, round(full_cost * fraction)) for fraction in fractions]

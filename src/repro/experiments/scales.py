@@ -1,0 +1,64 @@
+"""Experiment scales.
+
+``PAPER`` mirrors the paper's dataset sizes (BestBuy 1000/725, Private
+5K/2K, Synthetic 100K scaled to 20K for a laptop); ``SMALL`` is the
+fast default used by the pytest benchmarks, preserving every comparison
+and sweep shape at reduced size; ``TINY`` exists for smoke tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class Scale:
+    name: str
+    bb_queries: int
+    bb_properties: int
+    p_queries: int
+    p_properties: int
+    s_queries: int
+    s_properties: int
+    sweep_sizes: Tuple[int, ...]
+    rand_repeats: int
+
+
+TINY = Scale(
+    name="tiny",
+    bb_queries=120,
+    bb_properties=150,
+    p_queries=150,
+    p_properties=240,
+    s_queries=200,
+    s_properties=140,
+    sweep_sizes=(100, 200),
+    rand_repeats=2,
+)
+
+SMALL = Scale(
+    name="small",
+    bb_queries=400,
+    bb_properties=380,
+    p_queries=800,
+    p_properties=1100,
+    s_queries=1500,
+    s_properties=950,
+    sweep_sizes=(400, 800, 1600),
+    rand_repeats=3,
+)
+
+PAPER = Scale(
+    name="paper",
+    bb_queries=1000,
+    bb_properties=725,
+    p_queries=5000,
+    p_properties=2000,
+    s_queries=20_000,
+    s_properties=12_500,
+    sweep_sizes=(2000, 5000, 10_000, 20_000),
+    rand_repeats=5,
+)
+
+SCALES = {scale.name: scale for scale in (TINY, SMALL, PAPER)}

@@ -1,0 +1,44 @@
+"""Model extensions the paper leaves as future work (Section 8).
+
+> "One interesting direction ... is generalizing our model to account for
+> utility in partial covers of queries or generalizing the cost function
+> to capture overlaps in classifier construction."
+
+Two optional extensions, each with its own solver and exact test oracle:
+
+- :mod:`repro.extensions.partial_cover` — a query yields a configurable
+  fraction of its utility when only part of its property set is covered
+  (the base model is the step credit: all or nothing).
+- :mod:`repro.extensions.shared_costs` — classifier construction costs
+  overlap through shared per-property data-collection costs, making the
+  cost of a classifier *set* subadditive.
+
+Both extensions keep the base model as a special case and are exercised
+by dedicated ablation benchmarks.
+"""
+
+from repro.extensions.partial_cover import (
+    CreditFunction,
+    PartialCoverModel,
+    linear_credit,
+    quadratic_credit,
+    solve_partial_bcc,
+    step_credit,
+    threshold_credit,
+)
+from repro.extensions.shared_costs import (
+    SharedCostModel,
+    solve_shared_cost_bcc,
+)
+
+__all__ = [
+    "PartialCoverModel",
+    "CreditFunction",
+    "step_credit",
+    "linear_credit",
+    "quadratic_credit",
+    "threshold_credit",
+    "solve_partial_bcc",
+    "SharedCostModel",
+    "solve_shared_cost_bcc",
+]

@@ -1,0 +1,14 @@
+"""Maximum-flow substrate.
+
+Provides a Dinic max-flow solver and the *project selection* (maximum-weight
+closure) reduction built on it.  Project selection is the workhorse behind
+two exact polynomial-time components of the reproduction:
+
+- the exact MC3 solver for query length <= 2 (Theorem 2.5 of the paper), and
+- the exact weighted densest-subgraph solver used by ``A^ECC``.
+"""
+
+from repro.flow.dinic import Dinic
+from repro.flow.project_selection import ProjectSelection, select_projects
+
+__all__ = ["Dinic", "ProjectSelection", "select_projects"]

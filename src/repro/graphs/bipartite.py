@@ -1,0 +1,82 @@
+"""Bipartite views and the randomized bipartition step of ``A_H^QK``.
+
+The heuristic QK algorithm (Section 4.1) first randomly partitions the node
+set into two sides, keeping only the crossing edges.  With probability at
+least ``1 - 1/n`` over ``log n`` independent repetitions, some repetition
+retains at least half of the optimal solution's induced weight.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import FrozenSet, List
+
+from repro.graphs.graph import Node, WeightedGraph
+
+
+class BipartiteGraph:
+    """A :class:`WeightedGraph` together with a left/right node partition.
+
+    Only crossing edges are retained; edges internal to a side are dropped
+    at construction time.
+    """
+
+    def __init__(self, graph: WeightedGraph, left: FrozenSet[Node], right: FrozenSet[Node]) -> None:
+        overlap = left & right
+        if overlap:
+            raise ValueError(f"left/right sides overlap: {sorted(map(repr, overlap))[:3]}")
+        self.left = left
+        self.right = right
+        self.graph = WeightedGraph()
+        for node in left | right:
+            if node in graph:
+                self.graph.add_node(node, graph.cost(node))
+        for u, v, w in graph.edges():
+            crossing = (u in left and v in right) or (u in right and v in left)
+            if crossing:
+                self.graph.add_edge(u, v, w)
+
+    def side(self, node: Node) -> str:
+        """Which side ("L" or "R") holds ``node``."""
+        if node in self.left:
+            return "L"
+        if node in self.right:
+            return "R"
+        raise KeyError(node)
+
+    def __repr__(self) -> str:
+        return (
+            f"BipartiteGraph(|L|={len(self.left)}, |R|={len(self.right)}, "
+            f"m={self.graph.num_edges()})"
+        )
+
+
+def random_bipartition(
+    graph: WeightedGraph, rng: random.Random
+) -> BipartiteGraph:
+    """One uniformly random left/right split of ``graph``'s nodes."""
+    left, right = set(), set()
+    for node in graph.nodes:
+        (left if rng.random() < 0.5 else right).add(node)
+    return BipartiteGraph(graph, frozenset(left), frozenset(right))
+
+
+def bipartition_rounds(n_nodes: int) -> int:
+    """Number of independent bipartition rounds: ``ceil(log2 n)``, min 1.
+
+    Matches the paper's ``log n`` repetitions that drive the per-instance
+    failure probability below ``1/n``.
+    """
+    if n_nodes <= 1:
+        return 1
+    return max(1, math.ceil(math.log2(n_nodes)))
+
+
+def all_bipartitions(
+    graph: WeightedGraph, rng: random.Random, rounds: int = 0
+) -> List[BipartiteGraph]:
+    """``rounds`` independent random bipartitions (default: ``log2 n``)."""
+    if rounds <= 0:
+        rounds = bipartition_rounds(len(graph))
+    return [random_bipartition(graph, rng) for _ in range(rounds)]

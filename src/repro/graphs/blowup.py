@@ -1,0 +1,78 @@
+"""Blow-up (copy) graph used by ``A_H^QK`` to eliminate node costs.
+
+Each node ``v`` of integer cost ``c(v) >= 1`` is replaced by ``c(v)`` unit
+copies; each edge ``{u, v}`` of weight ``w`` becomes ``c(u) * c(v)`` copy
+edges of weight ``w / (c(u) * c(v))``, so the total weight carried between
+the copy groups equals ``w``.  A cost budget ``B`` on the original graph then
+becomes a plain cardinality bound ``k = B`` on copies — the HkS form.
+
+Copies are addressed as ``(original_node, index)`` pairs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.graphs.graph import Node, WeightedGraph
+
+Copy = Tuple[Node, int]
+
+
+class BlowupGraph:
+    """The blown-up unit-cost graph, with bookkeeping back to the original.
+
+    Attributes:
+        graph: the blown-up :class:`WeightedGraph` (all node costs are 1).
+        copies: mapping original node -> list of its copy nodes.
+    """
+
+    def __init__(self, original: WeightedGraph) -> None:
+        self.original = original
+        self.graph = WeightedGraph()
+        self.copies: Dict[Node, List[Copy]] = {}
+        for node in original.nodes:
+            cost = original.cost(node)
+            int_cost = int(round(cost))
+            if int_cost != cost or int_cost < 1:
+                raise ValueError(
+                    f"blow-up requires integer node costs >= 1, got {cost!r} for {node!r}"
+                )
+            node_copies = [(node, i) for i in range(int_cost)]
+            self.copies[node] = node_copies
+            for copy in node_copies:
+                self.graph.add_node(copy, cost=1.0)
+        for u, v, w in original.edges():
+            per_copy = w / (len(self.copies[u]) * len(self.copies[v]))
+            for cu in self.copies[u]:
+                for cv in self.copies[v]:
+                    self.graph.add_edge(cu, cv, per_copy)
+
+    def original_node(self, copy: Copy) -> Node:
+        """The original node a copy belongs to."""
+        return copy[0]
+
+    def num_copies(self, node: Node) -> int:
+        """Number of unit copies of ``node`` (its integer cost)."""
+        return len(self.copies[node])
+
+    def group_selection(self, selected_copies) -> Dict[Node, int]:
+        """Count how many copies of each original node ``selected_copies`` holds."""
+        counts: Dict[Node, int] = {}
+        for copy in selected_copies:
+            node = copy[0]
+            counts[node] = counts.get(node, 0) + 1
+        return counts
+
+    def size(self) -> int:
+        """Total number of copies in the blown-up graph."""
+        return len(self.graph)
+
+
+def blow_up(graph: WeightedGraph) -> BlowupGraph:
+    """Convenience constructor for :class:`BlowupGraph`."""
+    return BlowupGraph(graph)
+
+
+def total_integer_cost(graph: WeightedGraph) -> int:
+    """Sum of (integer) node costs — the size of the blow-up graph."""
+    return int(sum(graph.cost(v) for v in graph.nodes))

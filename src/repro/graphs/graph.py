@@ -1,0 +1,195 @@
+"""Undirected weighted graph with node costs and edge weights.
+
+This is the shared data structure for the Quadratic Knapsack (QK) instances
+produced by the BCC(2) reduction (Observation 4.4 in the paper): nodes are
+singleton classifiers with costs, edges are length-2 queries with utilities.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, Optional, Tuple
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+def edge_key(u: Node, v: Node) -> Edge:
+    """Canonical (order-independent) key for the undirected edge ``{u, v}``.
+
+    Nodes of mixed, non-comparable types are ordered by ``repr`` as a
+    deterministic tiebreak.
+    """
+    if u == v:
+        raise ValueError(f"self-loops are not allowed: {u!r}")
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        return (u, v) if repr(u) <= repr(v) else (v, u)
+
+
+class WeightedGraph:
+    """Undirected graph with non-negative node costs and positive edge weights.
+
+    The graph rejects self-loops and parallel edges (adding an existing edge
+    *accumulates* its weight, which is the semantics the BCC(2) reduction
+    needs when several queries map to the same classifier pair).
+    """
+
+    def __init__(self) -> None:
+        self._cost: Dict[Node, float] = {}
+        self._adj: Dict[Node, Dict[Node, float]] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self, node: Node, cost: float = 0.0) -> None:
+        """Add ``node`` with the given cost; re-adding overwrites the cost."""
+        if cost < 0:
+            raise ValueError(f"node cost must be non-negative, got {cost}")
+        self._cost[node] = float(cost)
+        self._adj.setdefault(node, {})
+
+    def add_edge(self, u: Node, v: Node, weight: float = 1.0) -> None:
+        """Add the undirected edge ``{u, v}``, accumulating weight if present.
+
+        Endpoints missing from the graph are created with cost 0.
+        """
+        if weight <= 0:
+            raise ValueError(f"edge weight must be positive, got {weight}")
+        if u == v:
+            raise ValueError(f"self-loops are not allowed: {u!r}")
+        for node in (u, v):
+            if node not in self._cost:
+                self.add_node(node)
+        self._adj[u][v] = self._adj[u].get(v, 0.0) + float(weight)
+        self._adj[v][u] = self._adj[v].get(u, 0.0) + float(weight)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and all incident edges."""
+        for neighbor in list(self._adj[node]):
+            del self._adj[neighbor][node]
+        del self._adj[node]
+        del self._cost[node]
+
+    def copy(self) -> "WeightedGraph":
+        """Deep copy (costs and adjacency are independent of the original)."""
+        clone = WeightedGraph()
+        clone._cost = dict(self._cost)
+        clone._adj = {u: dict(nbrs) for u, nbrs in self._adj.items()}
+        return clone
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._cost
+
+    def __len__(self) -> int:
+        return len(self._cost)
+
+    @property
+    def nodes(self) -> Iterable[Node]:
+        """View of all nodes (insertion order)."""
+        return self._cost.keys()
+
+    def cost(self, node: Node) -> float:
+        """The cost of ``node``."""
+        return self._cost[node]
+
+    def set_cost(self, node: Node, cost: float) -> None:
+        """Overwrite the cost of an existing node."""
+        if node not in self._cost:
+            raise KeyError(node)
+        if cost < 0:
+            raise ValueError(f"node cost must be non-negative, got {cost}")
+        self._cost[node] = float(cost)
+
+    def neighbors(self, node: Node) -> Dict[Node, float]:
+        """Mapping neighbor -> edge weight for ``node``."""
+        return self._adj[node]
+
+    def has_edge(self, u: Node, v: Node) -> bool:
+        """Whether the undirected edge ``{u, v}`` exists."""
+        return u in self._adj and v in self._adj[u]
+
+    def weight(self, u: Node, v: Node) -> float:
+        """The weight of the edge ``{u, v}``."""
+        return self._adj[u][v]
+
+    def edges(self) -> Iterator[Tuple[Node, Node, float]]:
+        """Iterate each undirected edge once as ``(u, v, weight)``."""
+        seen = set()
+        for u, nbrs in self._adj.items():
+            for v, w in nbrs.items():
+                key = edge_key(u, v)
+                if key not in seen:
+                    seen.add(key)
+                    yield key[0], key[1], w
+
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return sum(len(nbrs) for nbrs in self._adj.values()) // 2
+
+    def degree(self, node: Node) -> int:
+        """Number of neighbors of ``node``."""
+        return len(self._adj[node])
+
+    def weighted_degree(self, node: Node, within: Optional[set] = None) -> float:
+        """Sum of incident edge weights, optionally restricted to ``within``."""
+        nbrs = self._adj[node]
+        if within is None:
+            return sum(nbrs.values())
+        return sum(w for v, w in nbrs.items() if v in within)
+
+    # ------------------------------------------------------------------
+    # subgraph measures
+    # ------------------------------------------------------------------
+    def induced_weight(self, nodes: Iterable[Node]) -> float:
+        """Total edge weight of the subgraph induced by ``nodes``."""
+        selected = set(nodes)
+        total = 0.0
+        for u in selected:
+            for v, w in self._adj[u].items():
+                if v in selected:
+                    total += w
+        return total / 2.0
+
+    def induced_cost(self, nodes: Iterable[Node]) -> float:
+        """Total node cost of ``nodes``."""
+        return sum(self._cost[u] for u in nodes)
+
+    def subgraph(self, nodes: Iterable[Node]) -> "WeightedGraph":
+        """New graph induced by ``nodes`` (costs and weights preserved)."""
+        selected = set(nodes)
+        sub = WeightedGraph()
+        for u in selected:
+            sub.add_node(u, self._cost[u])
+        for u in selected:
+            for v, w in self._adj[u].items():
+                if v in selected and not sub.has_edge(u, v):
+                    sub.add_edge(u, v, w)
+        return sub
+
+    def total_edge_weight(self) -> float:
+        """Sum of all edge weights."""
+        return sum(w for _, _, w in self.edges())
+
+    def connected_components(self) -> Iterator[set]:
+        """Yield node sets of connected components (iterative DFS)."""
+        unvisited = set(self._cost)
+        while unvisited:
+            root = next(iter(unvisited))
+            component = {root}
+            stack = [root]
+            unvisited.discard(root)
+            while stack:
+                u = stack.pop()
+                for v in self._adj[u]:
+                    if v in unvisited:
+                        unvisited.discard(v)
+                        component.add(v)
+                        stack.append(v)
+            yield component
+
+    def __repr__(self) -> str:
+        return f"WeightedGraph(n={len(self)}, m={self.num_edges()})"

@@ -1,0 +1,126 @@
+"""Weighted hypergraph used by the DkSH reductions and the ECC algorithm.
+
+Hyperedges are frozensets of nodes with positive weights; nodes carry
+non-negative costs.  The densest-subhypergraph objective counts a hyperedge
+exactly when *all* of its endpoints are selected — matching the coverage
+semantics of BCC where a minimal cover contributes only when every one of
+its classifiers is constructed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, Tuple
+
+Node = Hashable
+HyperEdge = FrozenSet[Node]
+
+
+class Hypergraph:
+    """Weighted hypergraph with node costs.
+
+    Adding an existing hyperedge accumulates its weight (several queries can
+    share the same minimal cover in the ECC reduction).
+    """
+
+    def __init__(self) -> None:
+        self._cost: Dict[Node, float] = {}
+        self._edges: Dict[HyperEdge, float] = {}
+        self._incident: Dict[Node, set] = {}
+
+    def add_node(self, node: Node, cost: float = 0.0) -> None:
+        """Add ``node`` with the given cost; re-adding overwrites the cost."""
+        if cost < 0:
+            raise ValueError(f"node cost must be non-negative, got {cost}")
+        self._cost[node] = float(cost)
+        self._incident.setdefault(node, set())
+
+    def add_edge(self, nodes: Iterable[Node], weight: float = 1.0) -> None:
+        """Add a hyperedge over ``nodes``, accumulating weight if present."""
+        edge = frozenset(nodes)
+        if len(edge) < 1:
+            raise ValueError("hyperedge must contain at least one node")
+        if weight <= 0:
+            raise ValueError(f"hyperedge weight must be positive, got {weight}")
+        for node in edge:
+            if node not in self._cost:
+                self.add_node(node)
+        self._edges[edge] = self._edges.get(edge, 0.0) + float(weight)
+        for node in edge:
+            self._incident[node].add(edge)
+
+    def remove_node(self, node: Node) -> None:
+        """Remove ``node`` and every hyperedge incident to it."""
+        for edge in list(self._incident[node]):
+            self.remove_edge(edge)
+        del self._incident[node]
+        del self._cost[node]
+
+    def remove_edge(self, edge: HyperEdge) -> None:
+        """Remove one hyperedge."""
+        del self._edges[edge]
+        for node in edge:
+            self._incident[node].discard(edge)
+
+    # ------------------------------------------------------------------
+    def __contains__(self, node: Node) -> bool:
+        return node in self._cost
+
+    def __len__(self) -> int:
+        return len(self._cost)
+
+    @property
+    def nodes(self) -> Iterable[Node]:
+        """View of all nodes."""
+        return self._cost.keys()
+
+    def cost(self, node: Node) -> float:
+        """The cost of ``node``."""
+        return self._cost[node]
+
+    def edges(self) -> Iterator[Tuple[HyperEdge, float]]:
+        """Iterate ``(hyperedge, weight)`` pairs."""
+        return iter(self._edges.items())
+
+    def num_edges(self) -> int:
+        """Number of hyperedges."""
+        return len(self._edges)
+
+    def incident_edges(self, node: Node) -> Iterable[HyperEdge]:
+        """Hyperedges containing ``node``."""
+        return self._incident[node]
+
+    def edge_weight(self, edge: HyperEdge) -> float:
+        """The weight of ``edge``."""
+        return self._edges[edge]
+
+    def weighted_degree(self, node: Node) -> float:
+        """Sum of the weights of hyperedges incident to ``node``."""
+        return sum(self._edges[e] for e in self._incident[node])
+
+    def max_edge_cardinality(self) -> int:
+        """Size of the largest hyperedge (0 when edgeless)."""
+        return max((len(e) for e in self._edges), default=0)
+
+    # ------------------------------------------------------------------
+    def induced_weight(self, nodes: Iterable[Node]) -> float:
+        """Total weight of hyperedges fully contained in ``nodes``."""
+        selected = set(nodes)
+        return sum(w for edge, w in self._edges.items() if edge <= selected)
+
+    def induced_cost(self, nodes: Iterable[Node]) -> float:
+        """Total node cost of ``nodes``."""
+        return sum(self._cost[u] for u in nodes)
+
+    def subhypergraph(self, nodes: Iterable[Node]) -> "Hypergraph":
+        """New hypergraph induced by ``nodes``."""
+        selected = set(nodes)
+        sub = Hypergraph()
+        for node in selected:
+            sub.add_node(node, self._cost[node])
+        for edge, w in self._edges.items():
+            if edge <= selected:
+                sub.add_edge(edge, w)
+        return sub
+
+    def __repr__(self) -> str:
+        return f"Hypergraph(n={len(self)}, m={self.num_edges()})"

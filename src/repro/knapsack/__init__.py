@@ -1,0 +1,25 @@
+"""Knapsack solvers.
+
+``BCC_{l=1}`` is *equivalent* to Knapsack (Theorem 3.1), and the BCC(1)
+subproblem of the general algorithm is a Knapsack instance for any ``l``
+(Observation 4.3).  The paper relies on the classical FPTAS
+(Theorem 2.3); this package provides an exact DP (used whenever the scaled
+weights are small), a value-scaling FPTAS, and a ratio-greedy fallback with
+the standard 1/2-approximation guarantee.
+"""
+
+from repro.knapsack.items import KnapsackItem
+from repro.knapsack.solvers import (
+    solve_knapsack,
+    solve_knapsack_dp,
+    solve_knapsack_fptas,
+    solve_knapsack_greedy,
+)
+
+__all__ = [
+    "KnapsackItem",
+    "solve_knapsack",
+    "solve_knapsack_dp",
+    "solve_knapsack_fptas",
+    "solve_knapsack_greedy",
+]

@@ -1,0 +1,25 @@
+"""Knapsack item type."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+
+@dataclass(frozen=True)
+class KnapsackItem:
+    """An item with a payload key, non-negative weight and value.
+
+    ``key`` identifies the item in solutions (for BCC(1) it is the
+    classifier the item stands for).
+    """
+
+    key: Hashable
+    weight: float
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError(f"item weight must be >= 0, got {self.weight}")
+        if self.value < 0:
+            raise ValueError(f"item value must be >= 0, got {self.value}")

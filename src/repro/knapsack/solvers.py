@@ -1,0 +1,165 @@
+"""Knapsack algorithms: exact DP, FPTAS, ratio greedy, and a dispatcher.
+
+All solvers return ``(total value, list of chosen items)`` and never exceed
+the capacity.  Items of zero weight and positive value are always taken.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.knapsack.items import KnapsackItem
+
+Result = Tuple[float, List[KnapsackItem]]
+
+# Maximum number of DP cells (items x capacity states) before the exact DP
+# refuses and the dispatcher falls back to greedy.
+_MAX_DP_CELLS = 150_000_000
+
+
+def _split_zero_weight(items: Sequence[KnapsackItem]):
+    free = [item for item in items if item.weight == 0 and item.value > 0]
+    rest = [item for item in items if item.weight > 0]
+    return free, rest
+
+
+def _integer_weights(
+    items: Sequence[KnapsackItem], capacity: float
+) -> Optional[Tuple[List[int], int]]:
+    """Scale weights/capacity to integers if they are (nearly) integral."""
+    for scale in (1, 2, 4, 5, 10, 100):
+        scaled = [item.weight * scale for item in items]
+        cap = capacity * scale
+        if all(abs(w - round(w)) < 1e-9 for w in scaled):
+            return [int(round(w)) for w in scaled], int(math.floor(cap + 1e-9))
+    return None
+
+
+def solve_knapsack_dp(items: Sequence[KnapsackItem], capacity: float) -> Result:
+    """Exact 0/1 knapsack by weight-indexed dynamic programming.
+
+    Requires (near-)integral weights after scaling; raises ``ValueError``
+    when weights are not integral or the DP table would be too large.
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be >= 0, got {capacity}")
+    free, rest = _split_zero_weight(items)
+    scaled = _integer_weights(rest, capacity)
+    if scaled is None:
+        raise ValueError("weights are not integral at any supported scale")
+    weights, cap = scaled
+    usable = [
+        (item, w) for item, w in zip(rest, weights) if w <= cap and item.value > 0
+    ]
+    if not usable or cap == 0:
+        chosen = list(free)
+        return sum(i.value for i in chosen), chosen
+    if len(usable) * (cap + 1) > _MAX_DP_CELLS:
+        raise ValueError(
+            f"DP table too large: {len(usable)} items x {cap + 1} states"
+        )
+
+    dp = np.zeros(cap + 1)
+    take = np.zeros((len(usable), cap + 1), dtype=bool)
+    for index, (item, weight) in enumerate(usable):
+        shifted = dp[: cap + 1 - weight] + item.value
+        better = shifted > dp[weight:]
+        dp[weight:][better] = shifted[better]
+        take[index, weight:] = better
+
+    position = int(np.argmax(dp))
+    chosen = list(free)
+    for index in range(len(usable) - 1, -1, -1):
+        item, weight = usable[index]
+        if take[index, position]:
+            chosen.append(item)
+            position -= weight
+    value = sum(i.value for i in chosen)
+    return value, chosen
+
+
+def solve_knapsack_greedy(items: Sequence[KnapsackItem], capacity: float) -> Result:
+    """Ratio-greedy with best-single-item fallback (1/2-approximation)."""
+    if capacity < 0:
+        raise ValueError(f"capacity must be >= 0, got {capacity}")
+    free, rest = _split_zero_weight(items)
+    fitting = [i for i in rest if i.weight <= capacity and i.value > 0]
+    by_ratio = sorted(
+        fitting, key=lambda i: (-i.value / i.weight, i.weight)
+    )
+    chosen: List[KnapsackItem] = []
+    remaining = capacity
+    for item in by_ratio:
+        if item.weight <= remaining + 1e-12:
+            chosen.append(item)
+            remaining -= item.weight
+    greedy_value = sum(i.value for i in chosen)
+    best_single = max(fitting, key=lambda i: i.value, default=None)
+    if best_single is not None and best_single.value > greedy_value:
+        chosen = [best_single]
+    chosen.extend(free)
+    return sum(i.value for i in chosen), chosen
+
+
+def solve_knapsack_fptas(
+    items: Sequence[KnapsackItem], capacity: float, epsilon: float = 0.1
+) -> Result:
+    """Classical value-scaling FPTAS: ``(1 + epsilon)``-approximation.
+
+    Values are rounded down to multiples of ``eps * vmax / n`` and a
+    min-weight-per-value DP runs over the scaled value range.
+    """
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    if capacity < 0:
+        raise ValueError(f"capacity must be >= 0, got {capacity}")
+    free, rest = _split_zero_weight(items)
+    fitting = [i for i in rest if i.weight <= capacity and i.value > 0]
+    if not fitting:
+        chosen = list(free)
+        return sum(i.value for i in chosen), chosen
+
+    vmax = max(i.value for i in fitting)
+    scale = epsilon * vmax / len(fitting)
+    scaled_values = [int(i.value / scale) for i in fitting]
+    value_cap = sum(scaled_values)
+
+    INF = float("inf")
+    min_weight = [0.0] + [INF] * value_cap
+    take = np.zeros((len(fitting), value_cap + 1), dtype=bool)
+    for index, (item, sval) in enumerate(zip(fitting, scaled_values)):
+        if sval == 0:
+            continue
+        for value in range(value_cap, sval - 1, -1):
+            candidate = min_weight[value - sval] + item.weight
+            if candidate < min_weight[value]:
+                min_weight[value] = candidate
+                take[index, value] = True
+
+    best_value = max(
+        (v for v in range(value_cap + 1) if min_weight[v] <= capacity + 1e-12),
+        default=0,
+    )
+    chosen = list(free)
+    position = best_value
+    for index in range(len(fitting) - 1, -1, -1):
+        if position > 0 and take[index, position]:
+            chosen.append(fitting[index])
+            position -= scaled_values[index]
+    return sum(i.value for i in chosen), chosen
+
+
+def solve_knapsack(
+    items: Sequence[KnapsackItem], capacity: float
+) -> Result:
+    """Best-effort knapsack: exact DP when tractable, greedy otherwise.
+
+    This is the entry point ``A^BCC`` uses for the BCC(1) subproblem.
+    """
+    try:
+        return solve_knapsack_dp(items, capacity)
+    except ValueError:
+        return solve_knapsack_greedy(items, capacity)

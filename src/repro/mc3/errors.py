@@ -1,0 +1,9 @@
+"""MC3-specific errors."""
+
+from __future__ import annotations
+
+from repro.core.errors import ReproError
+
+
+class InfeasibleCoverError(ReproError):
+    """Some query has no finite-cost cover, so no MC3 solution exists."""

@@ -1,0 +1,120 @@
+"""Exact PTIME MC3 for query length <= 2 (Theorem 2.5) via min-cut.
+
+Buying singleton classifiers is a set ``V'`` of properties; a pair query
+``xy`` then costs ``0`` extra if both endpoints are bought and ``C(XY)``
+otherwise, while a singleton query ``x`` forces ``x in V'``.  Minimizing
+
+    sum_{p in V'} C(p)  +  sum_{xy not endpoint-covered} C(XY)
+
+is equivalent to maximizing ``sum_{xy} C(XY) * [x,y in V'] - sum C(p)``,
+a supermodular objective solvable exactly as project selection (min-cut):
+pair queries are projects with revenue ``C(XY)`` requiring machines ``x``
+and ``y``.  This is the reproduction of the polynomial-time exact solver
+that [23] provides for the dominant ``l <= 2`` workload fraction.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import FrozenSet, Iterable, Optional, Set
+
+from repro.core.model import Classifier, ClassifierWorkload, Query
+from repro.flow import ProjectSelection
+from repro.mc3.errors import InfeasibleCoverError
+
+
+def _cost_fn(workload, available, preselected):
+    available_set = None if available is None else set(available)
+
+    def cost(classifier: Classifier) -> float:
+        if classifier in preselected:
+            return 0.0
+        if available_set is not None and classifier not in available_set:
+            return math.inf
+        return workload.cost(classifier)
+
+    return cost
+
+
+def solve_mc3_l2(
+    workload: ClassifierWorkload,
+    queries: Optional[Iterable[Query]] = None,
+    available: Optional[Iterable[Classifier]] = None,
+    preselected: FrozenSet[Classifier] = frozenset(),
+) -> FrozenSet[Classifier]:
+    """Minimum-cost classifier set covering all target queries (all len <= 2).
+
+    Args:
+        workload: provides classifier costs.
+        queries: queries to cover (default: all workload queries).
+        available: if given, classifiers outside this set are unusable.
+        preselected: classifiers already constructed (cost 0).
+
+    Returns:
+        The classifier set to construct (excluding ``preselected`` members
+        unless they are needed at zero cost anyway).
+
+    Raises:
+        InfeasibleCoverError: if some query has no finite-cost cover.
+        ValueError: if a target query is longer than 2.
+    """
+    targets = list(queries) if queries is not None else list(workload.queries)
+    cost = _cost_fn(workload, available, preselected)
+
+    singles: Set[str] = set()
+    forced: Set[str] = set()
+    direct_pairs: Set[Classifier] = set()
+    projects = []  # (query, revenue, (x, y))
+
+    for query in targets:
+        if len(query) > 2:
+            raise ValueError(
+                f"solve_mc3_l2 handles queries of length <= 2, got {sorted(query)}"
+            )
+        if len(query) == 1:
+            (p,) = query
+            if math.isinf(cost(frozenset({p}))):
+                raise InfeasibleCoverError(
+                    f"singleton query {p!r} has an impractical classifier"
+                )
+            forced.add(p)
+            singles.add(p)
+        else:
+            x, y = sorted(query)
+            pair_cost = cost(query)
+            x_cost = cost(frozenset({x}))
+            y_cost = cost(frozenset({y}))
+            singles.update((x, y))
+            if math.isinf(pair_cost):
+                if math.isinf(x_cost) or math.isinf(y_cost):
+                    raise InfeasibleCoverError(
+                        f"query {sorted(query)} has no finite-cost cover"
+                    )
+                forced.update((x, y))
+            elif math.isinf(x_cost) or math.isinf(y_cost):
+                direct_pairs.add(query)
+            else:
+                projects.append((query, pair_cost, (x, y)))
+
+    instance = ProjectSelection()
+    machine_props = set()
+    for query, revenue, (x, y) in projects:
+        machine_props.update((x, y))
+    machine_props |= forced
+    for p in sorted(machine_props):
+        machine_cost = 0.0 if p in forced else cost(frozenset({p}))
+        if math.isinf(machine_cost):
+            continue  # unusable; its pair queries went to direct_pairs
+        instance.add_machine(p, machine_cost)
+    for query, revenue, (x, y) in projects:
+        instance.add_project(query, revenue, (x, y))
+
+    _, _, bought = instance.solve()
+    bought |= forced
+
+    solution: Set[Classifier] = {frozenset({p}) for p in bought}
+    solution |= direct_pairs
+    for query, revenue, (x, y) in projects:
+        if x not in bought or y not in bought:
+            solution.add(query)
+    return frozenset(solution)

@@ -1,0 +1,168 @@
+"""Greedy MC3 heuristic for general query length (NP-hard regime).
+
+Strategy: repeatedly take the uncovered query whose *residual* cheapest
+cover is the least expensive, buy that cover, and update.  Residual costs
+only decrease as classifiers accumulate, so a lazy heap with on-pop
+re-validation keeps the loop near ``O(m log m)`` cover computations.
+
+This mirrors the minimal-cover greedy of [23] (Theorem 2.5 gives it a
+``min(2^{l-1}, O(log n))`` factor); here it also serves as the local-search
+optimizer inside ``A^BCC`` (line 3 of Algorithm 1).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.core.model import Classifier, ClassifierWorkload, Query
+from repro.mc3.errors import InfeasibleCoverError
+
+
+def cheapest_residual_cover(
+    query: Query,
+    candidates: List[Tuple[Classifier, float]],
+    covered_props: Set[str],
+) -> Optional[Tuple[float, FrozenSet[Classifier]]]:
+    """Cheapest classifier set (from ``candidates``) covering what's missing.
+
+    ``candidates`` are ``(classifier, cost)`` pairs with each classifier a
+    subset of ``query``; already-covered properties cost nothing to re-test.
+    Branch-and-bound on the lexicographically smallest missing property.
+
+    Returns ``None`` when the missing part cannot be covered.
+    """
+    missing = frozenset(query) - covered_props
+    if not missing:
+        return 0.0, frozenset()
+    ordered_missing = sorted(missing)
+    usable = [(c, cost) for c, cost in candidates if c & missing and not math.isinf(cost)]
+    # Cheap upper bound first: sort candidates by cost for better pruning.
+    usable.sort(key=lambda item: item[1])
+
+    by_prop: Dict[str, List[Tuple[Classifier, float]]] = {p: [] for p in ordered_missing}
+    for classifier, cost in usable:
+        for prop in classifier & missing:
+            by_prop[prop].append((classifier, cost))
+
+    best: List[Optional[Tuple[float, Tuple[Classifier, ...]]]] = [None]
+
+    def search(still_missing: FrozenSet[str], chosen: Tuple[Classifier, ...], spent: float) -> None:
+        if best[0] is not None and spent >= best[0][0]:
+            return
+        if not still_missing:
+            best[0] = (spent, chosen)
+            return
+        pivot = min(still_missing)
+        for classifier, cost in by_prop[pivot]:
+            if classifier in chosen:
+                continue
+            search(still_missing - classifier, chosen + (classifier,), spent + cost)
+
+    search(missing, (), 0.0)
+    if best[0] is None:
+        return None
+    spent, chosen = best[0]
+    return spent, frozenset(chosen)
+
+
+class _ResidualState:
+    """Tracks selected classifiers and per-query covered properties."""
+
+    def __init__(self, workload: ClassifierWorkload, targets: List[Query]) -> None:
+        self.workload = workload
+        self.targets = targets
+        self.selected: Set[Classifier] = set()
+        self.covered_props: Dict[Query, Set[str]] = {q: set() for q in targets}
+        self._by_prop: Dict[str, List[Query]] = {}
+        for query in targets:
+            for prop in query:
+                self._by_prop.setdefault(prop, []).append(query)
+
+    def is_covered(self, query: Query) -> bool:
+        return self.covered_props[query] == set(query)
+
+    def add(self, classifier: Classifier) -> None:
+        if classifier in self.selected:
+            return
+        self.selected.add(classifier)
+        rarest = min(
+            classifier, key=lambda p: len(self._by_prop.get(p, ())), default=None
+        )
+        for query in self._by_prop.get(rarest, ()):
+            if classifier <= query:
+                self.covered_props[query] |= classifier
+
+
+def solve_mc3_greedy(
+    workload: ClassifierWorkload,
+    queries: Optional[Iterable[Query]] = None,
+    available: Optional[Iterable[Classifier]] = None,
+    preselected: FrozenSet[Classifier] = frozenset(),
+) -> FrozenSet[Classifier]:
+    """Greedy minimum-cost cover of all target queries (any length).
+
+    Same contract as :func:`repro.mc3.exact_l2.solve_mc3_l2` but heuristic.
+
+    Raises:
+        InfeasibleCoverError: if some query has no finite-cost cover.
+    """
+    targets = list(queries) if queries is not None else list(workload.queries)
+    available_set = None if available is None else set(available)
+
+    def cost(classifier: Classifier) -> float:
+        if classifier in preselected or classifier in state.selected:
+            return 0.0
+        if available_set is not None and classifier not in available_set:
+            return math.inf
+        return workload.cost(classifier)
+
+    state = _ResidualState(workload, targets)
+    for classifier in preselected:
+        state.add(classifier)
+
+    def candidates_for(query: Query) -> List[Tuple[Classifier, float]]:
+        from repro.core.model import powerset_classifiers
+
+        result = []
+        for classifier in powerset_classifiers(query):
+            c = cost(classifier)
+            if not math.isinf(c):
+                result.append((classifier, c))
+        return result
+
+    heap: List[Tuple[float, int, Query]] = []
+    for index, query in enumerate(targets):
+        if state.is_covered(query):
+            continue
+        found = cheapest_residual_cover(
+            query, candidates_for(query), state.covered_props[query]
+        )
+        if found is None:
+            raise InfeasibleCoverError(f"query {sorted(query)} has no finite-cost cover")
+        heapq.heappush(heap, (found[0], index, query))
+
+    chosen: Set[Classifier] = set()
+    while heap:
+        cached_cost, index, query = heapq.heappop(heap)
+        if state.is_covered(query):
+            continue
+        found = cheapest_residual_cover(
+            query, candidates_for(query), state.covered_props[query]
+        )
+        if found is None:
+            raise InfeasibleCoverError(f"query {sorted(query)} has no finite-cost cover")
+        current_cost, cover = found
+        if current_cost > cached_cost + 1e-12:
+            # Should not happen (costs only decrease), but stay safe.
+            heapq.heappush(heap, (current_cost, index, query))
+            continue
+        if current_cost < cached_cost - 1e-12:
+            heapq.heappush(heap, (current_cost, index, query))
+            continue
+        for classifier in cover:
+            if classifier not in preselected:
+                chosen.add(classifier)
+            state.add(classifier)
+    return frozenset(chosen)

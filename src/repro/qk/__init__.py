@@ -1,0 +1,20 @@
+"""Quadratic Knapsack (QK) solvers.
+
+QK (Definition 2.6): given a graph with node costs and edge weights plus a
+budget ``B``, select nodes of total cost at most ``B`` maximizing the induced
+edge weight.  ``BCC_{l=2}(2)`` is equivalent to QK (Observation 4.4), which
+makes this subsystem the computational core of ``A^BCC``.
+
+- :mod:`repro.qk.heuristic` — ``A_H^QK`` (Section 4.1): the practical
+  algorithm built on random bipartitions, cost blow-up and an HkS engine,
+  with the ``(5*alpha + eps)`` worst-case analysis of Theorem 4.7.
+- :mod:`repro.qk.taylor` — ``A_T^QK``: the worst-case ``Õ(n^{1/3})``
+  algorithm (modified Taylor [62]) with procedures P1/P2/P3.
+- :mod:`repro.qk.brute` — exact oracle for tests and Figure 3d.
+"""
+
+from repro.qk.brute import solve_qk_exact
+from repro.qk.heuristic import QKConfig, solve_qk
+from repro.qk.taylor import solve_qk_taylor
+
+__all__ = ["solve_qk", "QKConfig", "solve_qk_taylor", "solve_qk_exact"]

@@ -1,0 +1,55 @@
+"""Exact QK oracle by branch-and-bound (small graphs only)."""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Tuple
+
+from repro.graphs.graph import Node, WeightedGraph
+
+_MAX_NODES = 22
+
+
+def solve_qk_exact(graph: WeightedGraph, budget: float) -> FrozenSet[Node]:
+    """Optimal QK selection (cost within ``budget``, max induced weight).
+
+    Branch-and-bound over nodes in decreasing weighted-degree order; the
+    bound adds each remaining node's full weighted degree (an upper bound
+    on its marginal contribution).
+
+    Raises:
+        ValueError: if the graph exceeds the exhaustive-size limit.
+    """
+    nodes = sorted(
+        graph.nodes, key=lambda u: (-graph.weighted_degree(u), repr(u))
+    )
+    if len(nodes) > _MAX_NODES:
+        raise ValueError(f"exact QK limited to {_MAX_NODES} nodes, got {len(nodes)}")
+
+    # Suffix sums of weighted degrees for the optimistic bound.
+    suffix = [0.0] * (len(nodes) + 1)
+    for index in range(len(nodes) - 1, -1, -1):
+        suffix[index] = suffix[index + 1] + graph.weighted_degree(nodes[index])
+
+    best_weight = -1.0
+    best_set: Tuple[Node, ...] = ()
+
+    def search(index: int, chosen: List[Node], cost: float, weight: float) -> None:
+        nonlocal best_weight, best_set
+        if weight > best_weight:
+            best_weight = weight
+            best_set = tuple(chosen)
+        if index == len(nodes):
+            return
+        if weight + suffix[index] <= best_weight:
+            return
+        node = nodes[index]
+        node_cost = graph.cost(node)
+        if cost + node_cost <= budget + 1e-9:
+            gain = graph.weighted_degree(node, within=set(chosen))
+            chosen.append(node)
+            search(index + 1, chosen, cost + node_cost, weight + gain)
+            chosen.pop()
+        search(index + 1, chosen, cost, weight)
+
+    search(0, [], 0.0, 0.0)
+    return frozenset(best_set)

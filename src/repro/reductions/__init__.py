@@ -1,0 +1,35 @@
+"""Executable versions of the paper's hardness-proof reductions.
+
+Sections 3 and 5 prove hardness by exhibiting bijections between special
+cases of BCC/GMC3 and graph density problems.  This package makes those
+bijections runnable, and the test suite verifies objective equality on
+random instances — the reproduction of Theorems 3.1, 3.3 and 5.3 as code:
+
+- ``BCC_{l=1}``  <->  Knapsack (Theorem 3.1);
+- ``I_2``        <->  Densest k-Subgraph (Theorem 3.3);
+- ``I_3``        <->  Densest k-Subhypergraph with 3-edges (Theorem 3.3);
+- ``BCC_{l=2}(2)`` <-> Quadratic Knapsack (Observation 4.4);
+- GMC3 special case <-> Smallest p-Edge Subgraph (Theorem 5.3).
+"""
+
+from repro.reductions.density import (
+    bcc_solution_from_nodes,
+    dks_to_bcc,
+    dksh_to_bcc,
+    nodes_from_bcc_solution,
+    spes_to_gmc3,
+)
+from repro.reductions.knapsack import bcc_l1_to_knapsack, knapsack_to_bcc_l1
+from repro.reductions.quadratic import bcc2_to_qk, qk_to_bcc2
+
+__all__ = [
+    "dks_to_bcc",
+    "dksh_to_bcc",
+    "spes_to_gmc3",
+    "bcc_solution_from_nodes",
+    "nodes_from_bcc_solution",
+    "knapsack_to_bcc_l1",
+    "bcc_l1_to_knapsack",
+    "bcc2_to_qk",
+    "qk_to_bcc2",
+]

@@ -1,0 +1,89 @@
+"""DkS / DkSH / SpES reductions (Theorems 3.3 and 5.3).
+
+The ``I_l`` special case of BCC: all queries of length exactly ``l``, unit
+utilities, unit singleton-classifier costs, every longer classifier
+impractical, integer budget.  Nodes map to properties, (hyper)edges map to
+queries, the budget maps to the cardinality bound ``k``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, Iterable, Set
+
+from repro.core.model import BCCInstance, Classifier, GMC3Instance, powerset_classifiers
+from repro.graphs.graph import Node, WeightedGraph
+from repro.graphs.hypergraph import Hypergraph
+
+
+def _prop(node: Node) -> str:
+    return f"n{node}"
+
+
+def _unit_cost_map(queries: Iterable[FrozenSet[str]]) -> Dict[Classifier, float]:
+    """Unit singleton costs; every non-singleton classifier impractical."""
+    costs: Dict[Classifier, float] = {}
+    for query in queries:
+        for classifier in powerset_classifiers(query):
+            costs[classifier] = 1.0 if len(classifier) == 1 else math.inf
+    return costs
+
+
+def dks_to_bcc(graph: WeightedGraph, k: int) -> BCCInstance:
+    """DkS instance ``<G, k>`` as the equivalent ``I_2`` BCC instance.
+
+    Edge weights are carried over as utilities, so an HkS instance maps to
+    the same special case with non-uniform utilities.
+    """
+    queries = []
+    utilities = {}
+    for u, v, w in graph.edges():
+        query = frozenset({_prop(u), _prop(v)})
+        queries.append(query)
+        utilities[query] = w
+    if not queries:
+        raise ValueError("DkS reduction requires at least one edge")
+    return BCCInstance(queries, utilities, _unit_cost_map(queries), budget=float(k))
+
+
+def dksh_to_bcc(hypergraph: Hypergraph, k: int) -> BCCInstance:
+    """DkSH (3-edges or larger) as the equivalent ``I_l`` BCC instance."""
+    queries = []
+    utilities = {}
+    for edge, w in hypergraph.edges():
+        query = frozenset(_prop(v) for v in edge)
+        queries.append(query)
+        utilities[query] = w
+    if not queries:
+        raise ValueError("DkSH reduction requires at least one hyperedge")
+    return BCCInstance(queries, utilities, _unit_cost_map(queries), budget=float(k))
+
+
+def spes_to_gmc3(graph: WeightedGraph, p: float) -> GMC3Instance:
+    """Smallest p-Edge Subgraph as the GMC3 special case of Theorem 5.3.
+
+    Unit utilities and unit singleton costs; the edge-count target ``p``
+    becomes the utility target ``T``.
+    """
+    queries = []
+    for u, v, _ in graph.edges():
+        queries.append(frozenset({_prop(u), _prop(v)}))
+    if not queries:
+        raise ValueError("SpES reduction requires at least one edge")
+    return GMC3Instance(queries, None, _unit_cost_map(queries), target=float(p))
+
+
+def bcc_solution_from_nodes(nodes: Iterable[Node]) -> FrozenSet[Classifier]:
+    """Map a DkS node selection to the corresponding singleton classifiers."""
+    return frozenset(frozenset({_prop(v)}) for v in nodes)
+
+
+def nodes_from_bcc_solution(classifiers: Iterable[Classifier]) -> Set[str]:
+    """Map singleton classifiers back to DkS node names (``nX`` strings)."""
+    nodes = set()
+    for classifier in classifiers:
+        if len(classifier) != 1:
+            raise ValueError(f"I_l solutions are singleton-only, got {sorted(classifier)}")
+        (prop,) = classifier
+        nodes.add(prop[1:])
+    return nodes

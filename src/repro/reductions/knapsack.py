@@ -1,0 +1,39 @@
+"""``BCC_{l=1}`` <-> Knapsack (Theorem 3.1)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.core.model import BCCInstance
+from repro.knapsack.items import KnapsackItem
+
+
+def knapsack_to_bcc_l1(items: Sequence[KnapsackItem], capacity: float) -> BCCInstance:
+    """Each item becomes a singleton query whose classifier costs its weight.
+
+    Items must have positive values (utilities must be positive in BCC).
+    """
+    queries = []
+    utilities = {}
+    costs = {}
+    for index, item in enumerate(items):
+        if item.value <= 0:
+            raise ValueError(f"item {item.key!r} has non-positive value")
+        query = frozenset({f"item{index}"})
+        queries.append(query)
+        utilities[query] = item.value
+        costs[query] = item.weight
+    if not queries:
+        raise ValueError("knapsack reduction requires at least one item")
+    return BCCInstance(queries, utilities, costs, budget=float(capacity))
+
+
+def bcc_l1_to_knapsack(instance: BCCInstance) -> Tuple[List[KnapsackItem], float]:
+    """The reverse direction: a length-1 BCC instance as Knapsack items."""
+    if instance.length != 1:
+        raise ValueError(f"instance has length {instance.length}, expected 1")
+    items = [
+        KnapsackItem(key=q, weight=instance.cost(q), value=instance.utility(q))
+        for q in instance.queries
+    ]
+    return items, instance.budget

@@ -1,0 +1,63 @@
+"""``BCC_{l=2}(2)`` <-> Quadratic Knapsack (Observation 4.4)."""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.core.model import BCCInstance
+from repro.graphs.graph import WeightedGraph
+
+
+def bcc2_to_qk(instance: BCCInstance) -> Tuple[WeightedGraph, float]:
+    """The BCC(2) subproblem of a length-2 instance as a QK graph.
+
+    Nodes are singleton classifiers with their costs; each length-2 query
+    is an edge weighted by its utility; the budget carries over.  Length-1
+    queries are ignored (they belong to BCC(1)).
+    """
+    if instance.length > 2:
+        raise ValueError(f"instance has length {instance.length}, expected <= 2")
+    graph = WeightedGraph()
+    for query in instance.queries:
+        if len(query) != 2:
+            continue
+        endpoints = []
+        feasible = True
+        for prop in query:
+            classifier = frozenset({prop})
+            cost = instance.cost(classifier)
+            if math.isinf(cost):
+                feasible = False
+                break
+            endpoints.append((classifier, cost))
+        if not feasible:
+            continue
+        for classifier, cost in endpoints:
+            if classifier not in graph:
+                graph.add_node(classifier, cost)
+        graph.add_edge(endpoints[0][0], endpoints[1][0], instance.utility(query))
+    return graph, instance.budget
+
+
+def qk_to_bcc2(graph: WeightedGraph, budget: float) -> BCCInstance:
+    """A QK instance as the equivalent ``BCC_{l=2}(2)`` special case.
+
+    Each node becomes a property whose singleton classifier costs the node
+    cost; each edge becomes a length-2 query with the edge weight as
+    utility; pair classifiers are impractical so only 2-covers exist.
+    """
+    queries = []
+    utilities = {}
+    costs = {}
+    names = {node: f"q{i}" for i, node in enumerate(sorted(graph.nodes, key=repr))}
+    for node in graph.nodes:
+        costs[frozenset({names[node]})] = graph.cost(node)
+    for u, v, w in graph.edges():
+        query = frozenset({names[u], names[v]})
+        queries.append(query)
+        utilities[query] = w
+        costs[query] = math.inf
+    if not queries:
+        raise ValueError("QK reduction requires at least one edge")
+    return BCCInstance(queries, utilities, costs, budget=float(budget))

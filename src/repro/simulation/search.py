@@ -1,0 +1,90 @@
+"""Conjunctive search engine over listed metadata plus deployed classifiers.
+
+Baseline retrieval returns items whose *listed* properties contain the
+query — the incomplete result sets the paper's introduction describes.
+Deployed classifiers annotate items with derived properties: an item is
+annotated with a classifier's property set when the (imperfect) classifier
+predicts positive on it.  A query is *answerable* when some subset of the
+deployed classifiers' property sets unions to exactly the query's missing
+information — the same covering semantics as the BCC model.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.core.coverage import is_covered
+from repro.core.properties import PropertySet
+from repro.simulation.catalog import Catalog, Item
+from repro.simulation.training import TrainedClassifier
+
+
+class SearchEngine:
+    """Retrieval over a catalog, optionally augmented with classifiers."""
+
+    def __init__(self, catalog: Catalog, seed: int = 0) -> None:
+        self.catalog = catalog
+        self._seed = seed
+        self._classifiers: List[TrainedClassifier] = []
+        self._annotations: Dict[int, Set[PropertySet]] = {}
+
+    @property
+    def classifiers(self) -> Tuple[TrainedClassifier, ...]:
+        """The deployed classifiers, in deployment order."""
+        return tuple(self._classifiers)
+
+    def deploy(self, classifiers: Iterable[TrainedClassifier]) -> None:
+        """Run the classifiers over the whole catalog and store annotations."""
+        for classifier in classifiers:
+            rng = random.Random(f"{self._seed}:{sorted(classifier.properties)}")
+            self._classifiers.append(classifier)
+            for item in self.catalog.items:
+                truly = classifier.properties <= item.latent
+                if classifier.predict(truly, rng):
+                    self._annotations.setdefault(item.item_id, set()).add(
+                        classifier.properties
+                    )
+
+    def covers(self, query: PropertySet) -> bool:
+        """Whether the deployed classifier set covers ``query`` (BCC sense)."""
+        return is_covered(query, [c.properties for c in self._classifiers])
+
+    def result_set(self, query: PropertySet) -> List[Item]:
+        """Items matching the query through listed metadata + annotations.
+
+        An item matches when every query property is either listed or
+        supplied by an annotation that is a subset of the query.
+        """
+        results = []
+        for item in self.catalog.items:
+            known: Set[str] = set(item.listed & query)
+            for annotation in self._annotations.get(item.item_id, ()):
+                if annotation <= query:
+                    known |= annotation
+            if known >= query:
+                results.append(item)
+        return results
+
+    def evaluate_query(self, query: PropertySet) -> Dict[str, float]:
+        """Retrieval quality before/after deployment for one query.
+
+        Returns baseline/current result-set sizes, growth, and the
+        precision and recall of the current result set against the latent
+        ground truth.
+        """
+        truth = {item.item_id for item in self.catalog.true_result_set(query)}
+        baseline = {item.item_id for item in self.catalog.listed_result_set(query)}
+        current = {item.item_id for item in self.result_set(query)}
+        true_positives = len(current & truth)
+        return {
+            "baseline_size": float(len(baseline)),
+            "current_size": float(len(current)),
+            "growth": (
+                (len(current) - len(baseline)) / len(baseline)
+                if baseline
+                else float(len(current))
+            ),
+            "precision": true_positives / len(current) if current else 1.0,
+            "recall": true_positives / len(truth) if truth else 1.0,
+        }

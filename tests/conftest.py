@@ -1,0 +1,76 @@
+"""Shared fixtures: the paper's running examples and small random instances."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.core import BCCInstance, from_letters as fs
+
+
+def figure1_instance(budget: float) -> BCCInstance:
+    """The Figure 1 instance of the paper (Example 2.1).
+
+    Queries xyz/xz/xy with utilities 8/1/2; costs C(X)=5,
+    C(Y)=C(Z)=C(XYZ)=3, C(XZ)=4, C(YZ)=0, C(XY)=inf.
+    Optimal utilities: B=3 -> 8, B=4 -> 9, B=11 -> 11.
+    """
+    queries = [fs("xyz"), fs("xz"), fs("xy")]
+    utilities = {fs("xyz"): 8.0, fs("xz"): 1.0, fs("xy"): 2.0}
+    costs = {
+        fs("x"): 5.0,
+        fs("y"): 3.0,
+        fs("z"): 3.0,
+        fs("xyz"): 3.0,
+        fs("xz"): 4.0,
+        fs("yz"): 0.0,
+        fs("xy"): math.inf,
+    }
+    return BCCInstance(queries, utilities, costs, budget=budget)
+
+
+@pytest.fixture
+def fig1_b3() -> BCCInstance:
+    return figure1_instance(3.0)
+
+
+@pytest.fixture
+def fig1_b4() -> BCCInstance:
+    return figure1_instance(4.0)
+
+
+@pytest.fixture
+def fig1_b11() -> BCCInstance:
+    return figure1_instance(11.0)
+
+
+def random_instance(
+    seed: int,
+    n_properties: int = 8,
+    n_queries: int = 10,
+    max_length: int = 3,
+    budget_fraction: float = 0.4,
+    max_cost: float = 9.0,
+) -> BCCInstance:
+    """Small random BCC instance for oracle comparisons."""
+    rng = random.Random(seed)
+    properties = [f"p{i}" for i in range(n_properties)]
+    queries = set()
+    while len(queries) < n_queries:
+        length = rng.randint(1, max_length)
+        queries.add(frozenset(rng.sample(properties, length)))
+    queries = sorted(queries, key=sorted)
+    utilities = {q: float(rng.randint(1, 10)) for q in queries}
+    costs = {}
+    classifiers = set()
+    for q in queries:
+        from repro.core import powerset_classifiers
+
+        classifiers.update(powerset_classifiers(q))
+    for c in classifiers:
+        costs[c] = float(rng.randint(0, int(max_cost)))
+    total = sum(costs.values())
+    budget = max(1.0, round(total * budget_fraction))
+    return BCCInstance(queries, utilities, costs, budget=budget)

@@ -1,0 +1,108 @@
+"""Numerical verification of the paper's bound algebra (repro.analysis)."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    bcc_decomposition_bound,
+    bcc_l2_ratio,
+    gmc3_iteration_bound,
+    qk_heuristic_ratio,
+    subproblem_fraction_bound,
+    taylor_class_ratio,
+    taylor_worst_case,
+)
+
+
+class TestQkHeuristicRatio:
+    def test_theorem_4_7_value(self):
+        # 2 (bipartition) x 2 (half budget) x alpha x 5/4 (final step).
+        assert qk_heuristic_ratio(1.0) == pytest.approx(5.0)
+        assert qk_heuristic_ratio(1.5, epsilon=0.1) == pytest.approx(7.6)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            qk_heuristic_ratio(0.5)
+
+
+class TestDecomposition:
+    def test_worst_beta_formula(self):
+        # Paper: beta = 2 / (2 + 5 alpha) for the (2, 5 alpha) split.
+        beta, ratio = bcc_decomposition_bound(2.0, 5.0)
+        assert beta == pytest.approx(2.0 / 7.0)
+        assert ratio == pytest.approx(7.0)
+
+    def test_worst_beta_is_actually_worst(self):
+        """At the paper's beta both arms guarantee the same fraction, and
+        any other beta makes at least one arm better."""
+        k, q = 2.0, 5.0
+        beta_star, ratio = bcc_decomposition_bound(k, q)
+
+        def guaranteed(beta):
+            return max(beta / k, (1 - beta) / q)
+
+        floor = guaranteed(beta_star)
+        assert floor == pytest.approx(1.0 / ratio)
+        for beta in (0.1, 0.2, 0.5, 0.8, 0.9):
+            assert guaranteed(beta) >= floor - 1e-12
+
+    def test_bcc_l2_ratio_dominates_decomposition(self):
+        for alpha in (1.0, 1.2, 2.0, 5.0):
+            _, exact = bcc_decomposition_bound(2.0, 5.0 * alpha)
+            assert bcc_l2_ratio(alpha) >= exact
+
+
+class TestSubproblemFraction:
+    def test_observation_4_2(self):
+        assert subproblem_fraction_bound(2) == 0.5
+        assert subproblem_fraction_bound(5) == pytest.approx(0.2)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            subproblem_fraction_bound(0)
+
+
+class TestTaylorAnalysis:
+    def test_class_ratio_components(self):
+        n = 10_000.0
+        assert taylor_class_ratio(n, budget=n, w=1.0) == pytest.approx(1.0)
+
+    def test_lemma_4_6_worst_case_location(self):
+        """The numeric maximum sits at B ~ n^{2/3}, w ~ n^{1/3} with value
+        ~ n^{1/3} (Lemma 4.6's 'simple analysis')."""
+        n = 10.0**6
+        worst, budget, w = taylor_worst_case(n, grid=90)
+        assert worst == pytest.approx(n ** (1.0 / 3.0), rel=0.15)
+        assert math.log(budget, n) == pytest.approx(2.0 / 3.0, abs=0.05)
+        assert math.log(w, n) == pytest.approx(1.0 / 3.0, abs=0.05)
+
+    def test_all_three_subexpressions_equal_at_optimum(self):
+        n = 10.0**6
+        budget, w = n ** (2.0 / 3.0), n ** (1.0 / 3.0)
+        assert n / budget == pytest.approx((n * w) ** 0.25, rel=1e-9)
+        assert n / budget == pytest.approx(budget / w, rel=1e-9)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            taylor_class_ratio(0.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            taylor_worst_case(1.0)
+
+
+class TestGmc3Iterations:
+    def test_logarithmic(self):
+        assert gmc3_iteration_bound(2.0, math.e**3) == pytest.approx(6.0)
+
+    def test_trivial_target(self):
+        assert gmc3_iteration_bound(3.0, 1.0) == 0.0
+
+    def test_geometric_decay_reaches_target(self):
+        """Simulate Theorem 5.3's recursion: t_{j+1} <= t_j (1 - 1/alpha);
+        after alpha ln T rounds the residual is below 1."""
+        alpha, target = 3.0, 500.0
+        rounds = math.ceil(gmc3_iteration_bound(alpha, target))
+        residual = target
+        for _ in range(rounds):
+            residual *= 1.0 - 1.0 / alpha
+        assert residual < 1.0

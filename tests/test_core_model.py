@@ -1,0 +1,144 @@
+"""Unit tests for repro.core.model."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    BCCInstance,
+    ECCInstance,
+    GMC3Instance,
+    InvalidInstanceError,
+    from_letters as fs,
+    powerset_classifiers,
+)
+
+
+class TestPowersetClassifiers:
+    def test_singleton(self):
+        assert set(powerset_classifiers(fs("x"))) == {fs("x")}
+
+    def test_pair(self):
+        assert set(powerset_classifiers(fs("xy"))) == {fs("x"), fs("y"), fs("xy")}
+
+    def test_triple_count(self):
+        assert len(list(powerset_classifiers(fs("xyz")))) == 7
+
+    def test_excludes_empty_set(self):
+        assert frozenset() not in set(powerset_classifiers(fs("xy")))
+
+
+class TestWorkloadValidation:
+    def test_empty_query_set_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            BCCInstance([], budget=1.0)
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            BCCInstance([frozenset()], budget=1.0)
+
+    def test_duplicate_query_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            BCCInstance([fs("x"), fs("x")], budget=1.0)
+
+    def test_non_frozenset_query_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            BCCInstance([{"x"}], budget=1.0)  # type: ignore[list-item]
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            BCCInstance([fs("x")], budget=-1.0)
+
+    def test_infinite_budget_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            BCCInstance([fs("x")], budget=math.inf)
+
+    def test_utility_for_unknown_query_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            BCCInstance([fs("x")], utilities={fs("y"): 1.0}, budget=1.0)
+
+    def test_zero_utility_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            BCCInstance([fs("x")], utilities={fs("x"): 0.0}, budget=1.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(InvalidInstanceError):
+            BCCInstance([fs("x")], costs={fs("x"): -2.0}, budget=1.0)
+
+    def test_infinite_cost_allowed(self):
+        instance = BCCInstance([fs("xy")], costs={fs("xy"): math.inf}, budget=1.0)
+        assert instance.cost(fs("xy")) == math.inf
+
+
+class TestWorkloadAccessors:
+    def test_properties_union(self, fig1_b3):
+        assert fig1_b3.properties == frozenset("xyz")
+
+    def test_length_parameter(self, fig1_b3):
+        assert fig1_b3.length == 3
+
+    def test_default_utility(self):
+        instance = BCCInstance([fs("x")], budget=1.0, default_utility=5.0)
+        assert instance.utility(fs("x")) == 5.0
+
+    def test_default_cost(self):
+        instance = BCCInstance([fs("x")], budget=1.0, default_cost=7.0)
+        assert instance.cost(fs("x")) == 7.0
+
+    def test_unknown_query_utility_raises(self, fig1_b3):
+        with pytest.raises(KeyError):
+            fig1_b3.utility(fs("w"))
+
+    def test_total_utility(self, fig1_b3):
+        assert fig1_b3.total_utility() == 11.0
+
+    def test_relevant_classifiers_fig1(self, fig1_b3):
+        # 2^{xyz} + 2^{xz} + 2^{xy} minus empty = 7 distinct sets.
+        assert len(fig1_b3.relevant_classifiers()) == 7
+
+    def test_relevant_classifiers_exclude_irrelevant(self):
+        # P = {x,y,z}, Q = {xy, xz}: YZ is NOT relevant (Section 2.1).
+        instance = BCCInstance([fs("xy"), fs("xz")], budget=1.0)
+        relevant = instance.relevant_classifiers()
+        assert fs("yz") not in relevant
+        assert relevant == {fs("x"), fs("y"), fs("z"), fs("xy"), fs("xz")}
+
+    def test_feasible_excludes_infinite(self, fig1_b3):
+        feasible = set(fig1_b3.feasible_classifiers())
+        assert fs("xy") not in feasible
+        assert fs("yz") in feasible
+
+    def test_queries_containing(self, fig1_b3):
+        containing_y = fig1_b3.queries_containing(fs("y"))
+        assert set(containing_y) == {fs("xyz"), fs("xy")}
+
+    def test_queries_containing_multi(self, fig1_b3):
+        containing = fig1_b3.queries_containing(fs("xz"))
+        assert set(containing) == {fs("xyz"), fs("xz")}
+
+    def test_length_histogram(self, fig1_b3):
+        assert fig1_b3.length_histogram() == {3: 1, 2: 2}
+
+    def test_with_budget_copies(self, fig1_b3):
+        other = fig1_b3.with_budget(10.0)
+        assert other.budget == 10.0
+        assert fig1_b3.budget == 3.0
+        assert other.utility(fs("xyz")) == 8.0
+
+
+class TestOtherInstances:
+    def test_gmc3_target_validation(self):
+        with pytest.raises(InvalidInstanceError):
+            GMC3Instance([fs("x")], target=-1.0)
+
+    def test_gmc3_as_bcc(self):
+        gmc3 = GMC3Instance([fs("x")], utilities={fs("x"): 4.0}, target=2.0)
+        bcc = gmc3.as_bcc(budget=9.0)
+        assert isinstance(bcc, BCCInstance)
+        assert bcc.budget == 9.0
+        assert bcc.utility(fs("x")) == 4.0
+
+    def test_ecc_as_bcc(self):
+        ecc = ECCInstance([fs("xy")], costs={fs("xy"): 3.0})
+        bcc = ecc.as_bcc(budget=5.0)
+        assert bcc.cost(fs("xy")) == 3.0

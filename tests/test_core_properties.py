@@ -1,0 +1,69 @@
+"""Unit tests for repro.core.properties."""
+
+import pytest
+
+from repro.core import format_props, from_letters, from_phrase, props, universe
+
+
+class TestProps:
+    def test_basic_construction(self):
+        assert props("wooden", "table") == frozenset({"wooden", "table"})
+
+    def test_single_property(self):
+        assert props("wooden") == frozenset({"wooden"})
+
+    def test_duplicates_collapse(self):
+        assert props("a", "a", "b") == frozenset({"a", "b"})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            props()
+
+    def test_empty_string_rejected(self):
+        with pytest.raises(ValueError):
+            props("a", "")
+
+    def test_non_string_rejected(self):
+        with pytest.raises(ValueError):
+            props("a", 3)  # type: ignore[arg-type]
+
+
+class TestFromLetters:
+    def test_letters(self):
+        assert from_letters("xyz") == frozenset("xyz")
+
+    def test_case_insensitive(self):
+        assert from_letters("XYZ") == from_letters("xyz")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            from_letters("")
+
+
+class TestFromPhrase:
+    def test_phrase(self):
+        assert from_phrase("wooden table") == frozenset({"wooden", "table"})
+
+    def test_whitespace_only_rejected(self):
+        with pytest.raises(ValueError):
+            from_phrase("   ")
+
+
+class TestFormatProps:
+    def test_query_notation(self):
+        assert format_props(from_letters("zyx")) == "xyz"
+
+    def test_classifier_notation(self):
+        assert format_props(from_letters("xy"), classifier=True) == "XY"
+
+    def test_multiword(self):
+        assert format_props(frozenset({"wooden", "table"})) == "table wooden"
+
+
+class TestUniverse:
+    def test_union(self):
+        sets = [from_letters("xy"), from_letters("yz")]
+        assert universe(sets) == frozenset("xyz")
+
+    def test_empty_iterable(self):
+        assert universe([]) == frozenset()

@@ -1,0 +1,100 @@
+"""Unit tests for repro.core.solution."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    BudgetExceededError,
+    best_solution,
+    check_budget,
+    evaluate,
+    from_letters as fs,
+)
+
+
+class TestEvaluate:
+    def test_fig1_b3_optimal(self, fig1_b3):
+        solution = evaluate(fig1_b3, [fs("yz"), fs("xyz")])
+        assert solution.utility == 8.0
+        assert solution.cost == 3.0
+        assert solution.covered == frozenset({fs("xyz")})
+
+    def test_fig1_b4_optimal(self, fig1_b4):
+        solution = evaluate(fig1_b4, [fs("yz"), fs("xz")])
+        assert solution.utility == 9.0
+        assert solution.cost == 4.0
+
+    def test_fig1_b11_optimal(self, fig1_b11):
+        solution = evaluate(fig1_b11, [fs("yz"), fs("x"), fs("y"), fs("z")])
+        assert solution.utility == 11.0
+        assert solution.cost == 11.0
+
+    def test_free_classifier_optional(self, fig1_b3):
+        # {XYZ} alone has the same utility as {YZ, XYZ} (Example 2.1).
+        with_free = evaluate(fig1_b3, [fs("yz"), fs("xyz")])
+        without = evaluate(fig1_b3, [fs("xyz")])
+        assert with_free.utility == without.utility
+
+    def test_empty_solution(self, fig1_b3):
+        solution = evaluate(fig1_b3, [])
+        assert solution.utility == 0.0
+        assert solution.cost == 0.0
+        assert solution.covered == frozenset()
+
+    def test_meta_recorded(self, fig1_b3):
+        solution = evaluate(fig1_b3, [], meta={"algorithm": "test"})
+        assert solution.meta["algorithm"] == "test"
+
+
+class TestRatio:
+    def test_ratio(self, fig1_b4):
+        solution = evaluate(fig1_b4, [fs("yz"), fs("xz")])
+        assert solution.ratio == pytest.approx(9.0 / 4.0)
+
+    def test_zero_cost_positive_utility(self, fig1_b3):
+        # YZ is free but covers nothing alone -> ratio 0 at cost 0.
+        solution = evaluate(fig1_b3, [fs("yz")])
+        assert solution.ratio == 0.0
+
+    def test_zero_cost_with_utility_is_inf(self):
+        from repro.core import BCCInstance
+
+        instance = BCCInstance([fs("x")], costs={fs("x"): 0.0}, budget=1.0)
+        solution = evaluate(instance, [fs("x")])
+        assert solution.ratio == math.inf
+
+
+class TestCheckBudget:
+    def test_within_budget_passes(self, fig1_b4):
+        check_budget(fig1_b4, evaluate(fig1_b4, [fs("yz"), fs("xz")]))
+
+    def test_exceeding_raises(self, fig1_b3):
+        solution = evaluate(fig1_b3, [fs("x")])  # cost 5 > budget 3
+        with pytest.raises(BudgetExceededError):
+            check_budget(fig1_b3, solution)
+
+    def test_tiny_float_slack_tolerated(self, fig1_b3):
+        solution = evaluate(fig1_b3, [fs("xyz")])
+        # cost exactly equals the budget
+        check_budget(fig1_b3, solution)
+
+
+class TestBestSolution:
+    def test_picks_highest_utility(self, fig1_b4):
+        a = evaluate(fig1_b4, [fs("xyz")])  # utility 8
+        b = evaluate(fig1_b4, [fs("yz"), fs("xz")])  # utility 9
+        assert best_solution(a, b) is b
+
+    def test_tie_prefers_cheaper(self, fig1_b3):
+        a = evaluate(fig1_b3, [fs("yz"), fs("xyz")])  # utility 8, cost 3
+        b = evaluate(fig1_b3, [fs("xyz")])  # utility 8, cost 3 minus free
+        assert best_solution(a, b).cost <= a.cost
+
+    def test_none_filtered(self, fig1_b3):
+        a = evaluate(fig1_b3, [fs("xyz")])
+        assert best_solution(None, a) is a
+
+    def test_all_none_raises(self):
+        with pytest.raises(ValueError):
+            best_solution(None, None)

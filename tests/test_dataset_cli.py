@@ -1,0 +1,80 @@
+"""Tests for the dataset CLI (python -m repro.datasets)."""
+
+import json
+
+import pytest
+
+from repro.datasets.__main__ import main
+
+
+class TestGenerate:
+    def test_generate_and_stats(self, tmp_path, capsys):
+        out = tmp_path / "bb.json"
+        code = main(
+            [
+                "generate",
+                "--kind",
+                "bb",
+                "--queries",
+                "80",
+                "--properties",
+                "100",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        capsys.readouterr()  # drop the "wrote ..." line
+        code = main(["stats", str(out)])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_queries"] == 80
+
+    def test_stats_output_is_json(self, tmp_path, capsys):
+        out = tmp_path / "s.json"
+        main(
+            [
+                "generate",
+                "--kind",
+                "synthetic",
+                "--queries",
+                "60",
+                "--properties",
+                "80",
+                "--out",
+                str(out),
+            ]
+        )
+        capsys.readouterr()
+        main(["stats", str(out)])
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_queries"] == 60
+
+    def test_round_trip_loadable(self, tmp_path):
+        from repro.datasets import load_instance
+
+        out = tmp_path / "p.json"
+        main(
+            [
+                "generate",
+                "--kind",
+                "private",
+                "--queries",
+                "60",
+                "--properties",
+                "120",
+                "--out",
+                str(out),
+            ]
+        )
+        instance = load_instance(out)
+        assert instance.num_queries == 60
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "--kind", "nope", "--out", str(tmp_path / "x.json")])
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

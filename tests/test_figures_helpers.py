@@ -1,0 +1,68 @@
+"""Tests for the figure-construction helpers in repro.experiments.figures."""
+
+import math
+
+import pytest
+
+from repro.core import ECCInstance, GMC3Instance
+from repro.experiments.figures import (
+    _as_ecc,
+    _as_gmc3,
+    _dataset,
+    _small_subinstances,
+)
+from repro.experiments.scales import TINY
+
+
+class TestDatasetDispatch:
+    @pytest.mark.parametrize("name", ["BB", "P", "S"])
+    def test_known_datasets(self, name):
+        instance = _dataset(TINY, name, seed=0)
+        assert instance.num_queries > 0
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            _dataset(TINY, "nope", seed=0)
+
+    def test_seed_changes_dataset(self):
+        a = _dataset(TINY, "BB", seed=0)
+        b = _dataset(TINY, "BB", seed=1)
+        assert a.queries != b.queries
+
+
+class TestConversions:
+    def test_as_gmc3_preserves_workload(self):
+        base = _dataset(TINY, "BB", seed=0)
+        gmc3 = _as_gmc3(base, target=10.0)
+        assert isinstance(gmc3, GMC3Instance)
+        assert gmc3.target == 10.0
+        assert gmc3.queries == base.queries
+        for q in list(base.queries)[:20]:
+            assert gmc3.utility(q) == base.utility(q)
+
+    def test_as_ecc_clamps_zero_costs(self):
+        base = _dataset(TINY, "S", seed=0)
+        ecc = _as_ecc(base)
+        assert isinstance(ecc, ECCInstance)
+        for c in list(base.relevant_classifiers())[:200]:
+            cost = ecc.cost(c)
+            assert cost >= 1.0 or math.isinf(cost)
+
+
+class TestSmallSubinstances:
+    def test_brute_force_tractable(self):
+        subs = _small_subinstances(TINY, seed=0)
+        assert len(subs) >= 1
+        for sub in subs:
+            feasible = [
+                c
+                for c in sub.relevant_classifiers()
+                if not math.isinf(sub.cost(c))
+            ]
+            assert len(feasible) <= 24  # the brute-force limit
+
+    def test_costs_carried_over(self):
+        subs = _small_subinstances(TINY, seed=0)
+        for sub in subs:
+            for q in sub.queries:
+                assert sub.utility(q) > 0

@@ -1,0 +1,186 @@
+"""Tests for the max-flow substrate (Dinic + project selection)."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.flow import Dinic, ProjectSelection, select_projects
+
+
+class TestDinic:
+    def test_single_edge(self):
+        net = Dinic()
+        net.add_edge("s", "t", 5.0)
+        assert net.max_flow("s", "t") == pytest.approx(5.0)
+
+    def test_series_bottleneck(self):
+        net = Dinic()
+        net.add_edge("s", "a", 5.0)
+        net.add_edge("a", "t", 3.0)
+        assert net.max_flow("s", "t") == pytest.approx(3.0)
+
+    def test_parallel_paths(self):
+        net = Dinic()
+        net.add_edge("s", "a", 2.0)
+        net.add_edge("a", "t", 2.0)
+        net.add_edge("s", "b", 3.0)
+        net.add_edge("b", "t", 3.0)
+        assert net.max_flow("s", "t") == pytest.approx(5.0)
+
+    def test_classic_diamond(self):
+        # Textbook instance with a cross edge requiring augmenting paths.
+        net = Dinic()
+        net.add_edge("s", "a", 10.0)
+        net.add_edge("s", "b", 10.0)
+        net.add_edge("a", "b", 1.0)
+        net.add_edge("a", "t", 8.0)
+        net.add_edge("b", "t", 10.0)
+        assert net.max_flow("s", "t") == pytest.approx(18.0)
+
+    def test_disconnected(self):
+        net = Dinic()
+        net.add_node("t")
+        net.add_edge("s", "a", 1.0)
+        assert net.max_flow("s", "t") == 0.0
+
+    def test_same_source_sink_rejected(self):
+        net = Dinic()
+        net.add_edge("s", "t", 1.0)
+        with pytest.raises(ValueError):
+            net.max_flow("s", "s")
+
+    def test_negative_capacity_rejected(self):
+        net = Dinic()
+        with pytest.raises(ValueError):
+            net.add_edge("s", "t", -1.0)
+
+    def test_flow_limit(self):
+        net = Dinic()
+        net.add_edge("s", "t", 5.0)
+        assert net.max_flow("s", "t", limit=2.0) == pytest.approx(2.0)
+
+    def test_min_cut_source_side(self):
+        net = Dinic()
+        net.add_edge("s", "a", 1.0)
+        net.add_edge("a", "t", 100.0)
+        net.max_flow("s", "t")
+        side = net.min_cut_source_side("s")
+        assert "s" in side
+        assert "a" not in side  # the s->a edge saturates
+
+
+def _brute_force_max_flow(edges, source, sink):
+    """Exponential max-flow via min-cut enumeration (max-flow = min-cut)."""
+    nodes = sorted({u for u, _, _ in edges} | {v for _, v, _ in edges})
+    others = [n for n in nodes if n not in (source, sink)]
+    best = float("inf")
+    for r in range(len(others) + 1):
+        for combo in itertools.combinations(others, r):
+            s_side = set(combo) | {source}
+            cut = sum(c for u, v, c in edges if u in s_side and v not in s_side)
+            best = min(best, cut)
+    return best
+
+
+@given(seed=st.integers(0, 3000))
+@settings(max_examples=40, deadline=None)
+def test_dinic_equals_brute_force_min_cut(seed):
+    rng = random.Random(seed)
+    nodes = ["s", "a", "b", "c", "t"]
+    edges = []
+    for u in nodes:
+        for v in nodes:
+            if u != v and rng.random() < 0.45:
+                edges.append((u, v, float(rng.randint(1, 9))))
+    net = Dinic()
+    net.add_node("s")
+    net.add_node("t")
+    for u, v, c in edges:
+        net.add_edge(u, v, c)
+    flow = net.max_flow("s", "t")
+    assert flow == pytest.approx(_brute_force_max_flow(edges, "s", "t"))
+
+
+class TestProjectSelection:
+    def test_profitable_project(self):
+        value, projects, machines = select_projects(
+            {"m1": 3.0}, {"p1": (10.0, ["m1"])}
+        )
+        assert value == pytest.approx(7.0)
+        assert projects == {"p1"}
+        assert machines == {"m1"}
+
+    def test_unprofitable_project_skipped(self):
+        value, projects, machines = select_projects(
+            {"m1": 10.0}, {"p1": (3.0, ["m1"])}
+        )
+        assert value == pytest.approx(0.0)
+        assert projects == set()
+
+    def test_shared_machine(self):
+        # Two projects share one machine: together profitable.
+        value, projects, machines = select_projects(
+            {"m": 5.0},
+            {"p1": (3.0, ["m"]), "p2": (4.0, ["m"])},
+        )
+        assert value == pytest.approx(2.0)
+        assert projects == {"p1", "p2"}
+        assert machines == {"m"}
+
+    def test_multi_machine_project(self):
+        value, projects, machines = select_projects(
+            {"m1": 2.0, "m2": 2.0},
+            {"p": (5.0, ["m1", "m2"])},
+        )
+        assert value == pytest.approx(1.0)
+        assert machines == {"m1", "m2"}
+
+    def test_duplicate_project_key_rejected(self):
+        instance = ProjectSelection()
+        instance.add_project("p", 1.0, ["m"])
+        with pytest.raises(ValueError):
+            instance.add_project("p", 2.0, ["m"])
+
+    def test_negative_revenue_rejected(self):
+        instance = ProjectSelection()
+        with pytest.raises(ValueError):
+            instance.add_project("p", -1.0, ["m"])
+
+
+def _brute_force_project_selection(machine_costs, projects):
+    machines = sorted(machine_costs)
+    best = 0.0
+    for r in range(len(machines) + 1):
+        for combo in itertools.combinations(machines, r):
+            owned = set(combo)
+            revenue = sum(
+                rev
+                for rev, needed in projects.values()
+                if set(needed) <= owned
+            )
+            best = max(best, revenue - sum(machine_costs[m] for m in owned))
+    return best
+
+
+@given(seed=st.integers(0, 3000))
+@settings(max_examples=40, deadline=None)
+def test_project_selection_equals_brute_force(seed):
+    rng = random.Random(seed)
+    machines = {f"m{i}": float(rng.randint(0, 8)) for i in range(5)}
+    projects = {}
+    for p in range(4):
+        needed = rng.sample(sorted(machines), rng.randint(1, 3))
+        projects[f"p{p}"] = (float(rng.randint(0, 9)), needed)
+    value, chosen_projects, chosen_machines = select_projects(machines, projects)
+    assert value == pytest.approx(_brute_force_project_selection(machines, projects))
+    # Reported selection must be consistent with the reported value.
+    revenue = sum(
+        projects[p][0] for p in chosen_projects
+    )
+    cost = sum(machines[m] for m in chosen_machines)
+    assert revenue - cost == pytest.approx(value)
+    for p in chosen_projects:
+        assert set(projects[p][1]) <= chosen_machines

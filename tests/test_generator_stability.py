@@ -1,0 +1,32 @@
+"""Cross-version stability of the dataset generators.
+
+Experiments and EXPERIMENTS.md quote numbers for specific seeds; these
+tests pin the generators' aggregate outputs so an accidental change to a
+generator (which would silently invalidate every quoted number) fails
+loudly.  If you change a generator *intentionally*, update the pinned
+values and regenerate EXPERIMENTS.md's measurements.
+"""
+
+import pytest
+
+from repro.datasets import generate_bestbuy, generate_private, generate_synthetic
+
+
+class TestPinnedAggregates:
+    def test_bestbuy_seed1(self):
+        instance = generate_bestbuy(n_queries=200, n_properties=220, seed=1)
+        assert instance.num_queries == 200
+        assert instance.total_utility() == pytest.approx(329.0)
+        assert len(instance.properties) == 178
+
+    def test_private_seed3(self):
+        instance = generate_private(n_queries=200, n_properties=320, seed=3)
+        assert instance.num_queries == 200
+        assert instance.total_utility() == pytest.approx(2019.0)
+        assert instance.length_histogram()[1] == 110
+
+    def test_synthetic_seed5(self):
+        instance = generate_synthetic(n_queries=200, n_properties=150, seed=5)
+        assert instance.num_queries == 200
+        assert instance.total_utility() == pytest.approx(4833.0)
+        assert instance.length == 6

@@ -1,0 +1,280 @@
+"""Unit and property tests for the graph substrate (repro.graphs)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import (
+    BipartiteGraph,
+    Hypergraph,
+    WeightedGraph,
+    blow_up,
+    random_bipartition,
+)
+from repro.graphs.bipartite import all_bipartitions, bipartition_rounds
+from repro.graphs.blowup import total_integer_cost
+
+
+def triangle() -> WeightedGraph:
+    g = WeightedGraph()
+    g.add_node("a", 1.0)
+    g.add_node("b", 2.0)
+    g.add_node("c", 3.0)
+    g.add_edge("a", "b", 1.0)
+    g.add_edge("b", "c", 2.0)
+    g.add_edge("a", "c", 3.0)
+    return g
+
+
+class TestWeightedGraph:
+    def test_add_and_len(self):
+        g = triangle()
+        assert len(g) == 3
+        assert g.num_edges() == 3
+
+    def test_negative_cost_rejected(self):
+        g = WeightedGraph()
+        with pytest.raises(ValueError):
+            g.add_node("a", -1.0)
+
+    def test_self_loop_rejected(self):
+        g = WeightedGraph()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "a")
+
+    def test_nonpositive_weight_rejected(self):
+        g = WeightedGraph()
+        with pytest.raises(ValueError):
+            g.add_edge("a", "b", 0.0)
+
+    def test_parallel_edges_accumulate(self):
+        g = WeightedGraph()
+        g.add_edge("a", "b", 1.0)
+        g.add_edge("a", "b", 2.5)
+        assert g.weight("a", "b") == pytest.approx(3.5)
+        assert g.num_edges() == 1
+
+    def test_auto_created_endpoints_cost_zero(self):
+        g = WeightedGraph()
+        g.add_edge("a", "b", 1.0)
+        assert g.cost("a") == 0.0
+
+    def test_remove_node(self):
+        g = triangle()
+        g.remove_node("b")
+        assert len(g) == 2
+        assert g.num_edges() == 1
+        assert g.has_edge("a", "c")
+
+    def test_induced_weight(self):
+        g = triangle()
+        assert g.induced_weight({"a", "b"}) == pytest.approx(1.0)
+        assert g.induced_weight({"a", "b", "c"}) == pytest.approx(6.0)
+        assert g.induced_weight({"a"}) == 0.0
+
+    def test_induced_cost(self):
+        g = triangle()
+        assert g.induced_cost({"a", "c"}) == pytest.approx(4.0)
+
+    def test_weighted_degree_restricted(self):
+        g = triangle()
+        assert g.weighted_degree("a") == pytest.approx(4.0)
+        assert g.weighted_degree("a", within={"b"}) == pytest.approx(1.0)
+
+    def test_subgraph(self):
+        g = triangle()
+        sub = g.subgraph({"a", "c"})
+        assert len(sub) == 2
+        assert sub.weight("a", "c") == pytest.approx(3.0)
+        assert sub.cost("c") == 3.0
+
+    def test_copy_independent(self):
+        g = triangle()
+        clone = g.copy()
+        clone.remove_node("a")
+        assert "a" in g
+
+    def test_connected_components(self):
+        g = triangle()
+        g.add_node("lonely", 0.0)
+        components = sorted(map(sorted, g.connected_components()))
+        assert components == [["a", "b", "c"], ["lonely"]]
+
+    def test_edges_iterate_once(self):
+        g = triangle()
+        assert len(list(g.edges())) == 3
+
+
+class TestBipartite:
+    def test_crossing_edges_only(self):
+        g = triangle()
+        bi = BipartiteGraph(g, frozenset({"a"}), frozenset({"b", "c"}))
+        assert bi.graph.has_edge("a", "b")
+        assert bi.graph.has_edge("a", "c")
+        assert not bi.graph.has_edge("b", "c")
+
+    def test_overlap_rejected(self):
+        g = triangle()
+        with pytest.raises(ValueError):
+            BipartiteGraph(g, frozenset({"a"}), frozenset({"a", "b"}))
+
+    def test_side_lookup(self):
+        g = triangle()
+        bi = BipartiteGraph(g, frozenset({"a"}), frozenset({"b", "c"}))
+        assert bi.side("a") == "L"
+        assert bi.side("c") == "R"
+        with pytest.raises(KeyError):
+            bi.side("zzz")
+
+    def test_random_bipartition_partitions_all(self):
+        g = triangle()
+        bi = random_bipartition(g, random.Random(0))
+        assert bi.left | bi.right == frozenset({"a", "b", "c"})
+        assert not (bi.left & bi.right)
+
+    def test_rounds_logarithmic(self):
+        assert bipartition_rounds(1) == 1
+        assert bipartition_rounds(2) == 1
+        assert bipartition_rounds(1024) == 10
+
+    def test_all_bipartitions_count(self):
+        g = triangle()
+        splits = all_bipartitions(g, random.Random(1), rounds=5)
+        assert len(splits) == 5
+
+    def test_some_split_keeps_half_weight(self):
+        # Over enough rounds, some bipartition keeps >= half the total
+        # weight of any fixed solution, here the whole triangle.
+        g = triangle()
+        total = g.total_edge_weight()
+        splits = all_bipartitions(g, random.Random(7), rounds=20)
+        best = max(s.graph.total_edge_weight() for s in splits)
+        assert best >= total / 2.0 - 1e-12
+
+
+class TestHypergraph:
+    def test_add_and_measure(self):
+        h = Hypergraph()
+        h.add_node("x", 1.0)
+        h.add_edge(["x", "y", "z"], 5.0)
+        assert len(h) == 3
+        assert h.num_edges() == 1
+        assert h.induced_weight({"x", "y", "z"}) == 5.0
+        assert h.induced_weight({"x", "y"}) == 0.0
+
+    def test_duplicate_edge_accumulates(self):
+        h = Hypergraph()
+        h.add_edge(["x", "y"], 1.0)
+        h.add_edge(["y", "x"], 2.0)
+        assert h.num_edges() == 1
+        assert h.edge_weight(frozenset({"x", "y"})) == pytest.approx(3.0)
+
+    def test_weighted_degree(self):
+        h = Hypergraph()
+        h.add_edge(["x", "y"], 1.0)
+        h.add_edge(["x", "z"], 2.0)
+        assert h.weighted_degree("x") == pytest.approx(3.0)
+        assert h.weighted_degree("y") == pytest.approx(1.0)
+
+    def test_remove_node_drops_incident_edges(self):
+        h = Hypergraph()
+        h.add_edge(["x", "y"], 1.0)
+        h.add_edge(["y", "z"], 1.0)
+        h.remove_node("y")
+        assert h.num_edges() == 0
+        assert "x" in h
+
+    def test_max_edge_cardinality(self):
+        h = Hypergraph()
+        h.add_edge(["x", "y", "z"], 1.0)
+        h.add_edge(["x", "y"], 1.0)
+        assert h.max_edge_cardinality() == 3
+
+    def test_subhypergraph(self):
+        h = Hypergraph()
+        h.add_node("x", 2.0)
+        h.add_edge(["x", "y"], 1.0)
+        h.add_edge(["x", "z"], 4.0)
+        sub = h.subhypergraph({"x", "z"})
+        assert sub.num_edges() == 1
+        assert sub.cost("x") == 2.0
+
+    def test_singleton_edge_allowed(self):
+        h = Hypergraph()
+        h.add_edge(["x"], 2.0)
+        assert h.induced_weight({"x"}) == 2.0
+
+
+class TestBlowup:
+    def test_copy_counts(self):
+        g = WeightedGraph()
+        g.add_node("a", 2.0)
+        g.add_node("b", 3.0)
+        g.add_edge("a", "b", 6.0)
+        blown = blow_up(g)
+        assert blown.num_copies("a") == 2
+        assert blown.num_copies("b") == 3
+        assert blown.size() == 5
+
+    def test_edge_weight_preserved_in_total(self):
+        g = WeightedGraph()
+        g.add_node("a", 2.0)
+        g.add_node("b", 3.0)
+        g.add_edge("a", "b", 6.0)
+        blown = blow_up(g)
+        # Selecting all copies recovers the original weight.
+        assert blown.graph.induced_weight(set(blown.graph.nodes)) == pytest.approx(6.0)
+
+    def test_all_copies_unit_cost(self):
+        g = WeightedGraph()
+        g.add_node("a", 4.0)
+        blown = blow_up(g)
+        assert all(blown.graph.cost(c) == 1.0 for c in blown.graph.nodes)
+
+    def test_non_integer_cost_rejected(self):
+        g = WeightedGraph()
+        g.add_node("a", 1.5)
+        with pytest.raises(ValueError):
+            blow_up(g)
+
+    def test_zero_cost_rejected(self):
+        g = WeightedGraph()
+        g.add_node("a", 0.0)
+        with pytest.raises(ValueError):
+            blow_up(g)
+
+    def test_group_selection(self):
+        g = WeightedGraph()
+        g.add_node("a", 2.0)
+        g.add_node("b", 1.0)
+        g.add_edge("a", "b", 1.0)
+        blown = blow_up(g)
+        counts = blown.group_selection([("a", 0), ("a", 1), ("b", 0)])
+        assert counts == {"a": 2, "b": 1}
+
+    def test_total_integer_cost(self):
+        g = WeightedGraph()
+        g.add_node("a", 2.0)
+        g.add_node("b", 3.0)
+        assert total_integer_cost(g) == 5
+
+
+@given(seed=st.integers(0, 5000))
+@settings(max_examples=40, deadline=None)
+def test_induced_weight_matches_manual(seed):
+    rng = random.Random(seed)
+    g = WeightedGraph()
+    nodes = [f"v{i}" for i in range(8)]
+    for node in nodes:
+        g.add_node(node, rng.randint(0, 5))
+    for _ in range(12):
+        u, v = rng.sample(nodes, 2)
+        if not g.has_edge(u, v):
+            g.add_edge(u, v, rng.randint(1, 9))
+    selection = {n for n in nodes if rng.random() < 0.5}
+    manual = sum(
+        w for u, v, w in g.edges() if u in selection and v in selection
+    )
+    assert g.induced_weight(selection) == pytest.approx(manual)

@@ -1,0 +1,148 @@
+"""Tests for the knapsack substrate (repro.knapsack)."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.knapsack import (
+    KnapsackItem,
+    solve_knapsack,
+    solve_knapsack_dp,
+    solve_knapsack_fptas,
+    solve_knapsack_greedy,
+)
+
+ALL_SOLVERS = [solve_knapsack, solve_knapsack_dp, solve_knapsack_greedy]
+
+
+def brute_force(items, capacity):
+    best = 0.0
+    for r in range(len(items) + 1):
+        for combo in itertools.combinations(items, r):
+            weight = sum(i.weight for i in combo)
+            if weight <= capacity:
+                best = max(best, sum(i.value for i in combo))
+    return best
+
+
+def random_items(seed, n=8):
+    rng = random.Random(seed)
+    return [
+        KnapsackItem(key=i, weight=rng.randint(0, 10), value=rng.randint(0, 10))
+        for i in range(n)
+    ]
+
+
+class TestItem:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ValueError):
+            KnapsackItem("a", -1.0, 1.0)
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(ValueError):
+            KnapsackItem("a", 1.0, -1.0)
+
+
+class TestDP:
+    def test_simple(self):
+        items = [KnapsackItem("a", 3, 4), KnapsackItem("b", 4, 5), KnapsackItem("c", 2, 3)]
+        value, chosen = solve_knapsack_dp(items, 5)
+        assert value == 7.0
+        assert {i.key for i in chosen} == {"a", "c"}
+
+    def test_zero_capacity(self):
+        items = [KnapsackItem("a", 1, 10)]
+        value, chosen = solve_knapsack_dp(items, 0)
+        assert value == 0.0 and chosen == []
+
+    def test_zero_weight_items_always_taken(self):
+        items = [KnapsackItem("free", 0, 5), KnapsackItem("a", 2, 3)]
+        value, chosen = solve_knapsack_dp(items, 2)
+        assert value == 8.0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            solve_knapsack_dp([], -1)
+
+    def test_fractional_weights_at_supported_scale(self):
+        items = [KnapsackItem("a", 0.5, 4), KnapsackItem("b", 0.25, 3)]
+        value, _ = solve_knapsack_dp(items, 0.5)
+        assert value == 4.0
+
+    def test_irrational_weights_rejected(self):
+        items = [KnapsackItem("a", 0.123456, 4)]
+        with pytest.raises(ValueError):
+            solve_knapsack_dp(items, 1.0)
+
+    @given(seed=st.integers(0, 2000), cap=st.integers(0, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_dp_matches_brute_force(self, seed, cap):
+        items = random_items(seed)
+        value, chosen = solve_knapsack_dp(items, cap)
+        assert value == pytest.approx(brute_force(items, cap))
+        assert sum(i.weight for i in chosen) <= cap
+        assert sum(i.value for i in chosen) == pytest.approx(value)
+
+
+class TestGreedy:
+    def test_half_approximation(self):
+        # Classic greedy trap: ratio ordering misses the big item.
+        items = [KnapsackItem("small", 1, 2), KnapsackItem("big", 10, 10)]
+        value, _ = solve_knapsack_greedy(items, 10)
+        assert value >= 10.0 / 2
+
+    def test_best_single_fallback(self):
+        items = [
+            KnapsackItem("a", 6, 7),
+            KnapsackItem("b", 5, 5),
+            KnapsackItem("c", 5, 5),
+        ]
+        value, _ = solve_knapsack_greedy(items, 10)
+        assert value >= 7.0
+
+    @given(seed=st.integers(0, 2000), cap=st.integers(0, 30))
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_feasible_and_half(self, seed, cap):
+        items = random_items(seed)
+        optimal = brute_force(items, cap)
+        value, chosen = solve_knapsack_greedy(items, cap)
+        assert sum(i.weight for i in chosen) <= cap + 1e-9
+        assert value >= optimal / 2 - 1e-9
+
+
+class TestFPTAS:
+    @given(seed=st.integers(0, 1000), cap=st.integers(0, 25))
+    @settings(max_examples=40, deadline=None)
+    def test_fptas_guarantee(self, seed, cap):
+        items = random_items(seed, n=7)
+        optimal = brute_force(items, cap)
+        value, chosen = solve_knapsack_fptas(items, cap, epsilon=0.1)
+        assert sum(i.weight for i in chosen) <= cap + 1e-9
+        assert value >= optimal / 1.1 - 1e-9
+        assert value == pytest.approx(sum(i.value for i in chosen))
+
+    def test_bad_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            solve_knapsack_fptas([], 1.0, epsilon=0.0)
+
+    def test_empty(self):
+        assert solve_knapsack_fptas([], 5.0) == (0.0, [])
+
+
+class TestDispatcher:
+    def test_falls_back_on_nonintegral(self):
+        items = [KnapsackItem("a", 0.123456, 4)]
+        value, chosen = solve_knapsack(items, 1.0)
+        assert value == 4.0
+
+    @given(seed=st.integers(0, 1000), cap=st.integers(0, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_dispatcher_feasible(self, seed, cap):
+        items = random_items(seed)
+        value, chosen = solve_knapsack(items, cap)
+        assert sum(i.weight for i in chosen) <= cap + 1e-9
+        keys = [i.key for i in chosen]
+        assert len(keys) == len(set(keys))

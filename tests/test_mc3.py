@@ -1,0 +1,235 @@
+"""Tests for the MC3 substrate (repro.mc3)."""
+
+import itertools
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BCCInstance, covered_queries, from_letters as fs
+from repro.mc3 import (
+    InfeasibleCoverError,
+    full_cover_cost,
+    solve_mc3,
+    solve_mc3_greedy,
+    solve_mc3_l2,
+)
+from repro.mc3.greedy import cheapest_residual_cover
+
+
+def brute_force_mc3(workload, queries=None):
+    """Optimal cover cost by enumerating classifier subsets."""
+    targets = list(queries) if queries is not None else list(workload.queries)
+    classifiers = sorted(
+        (c for c in workload.relevant_classifiers() if not math.isinf(workload.cost(c))),
+        key=sorted,
+    )
+    best = math.inf
+    for r in range(len(classifiers) + 1):
+        for combo in itertools.combinations(classifiers, r):
+            cost = sum(workload.cost(c) for c in combo)
+            if cost >= best:
+                continue
+            covered = covered_queries(workload, combo)
+            if all(q in covered for q in targets):
+                best = cost
+    return best
+
+
+def random_l2_instance(seed, n_props=5, n_queries=6):
+    rng = random.Random(seed)
+    properties = [f"p{i}" for i in range(n_props)]
+    queries = set()
+    while len(queries) < n_queries:
+        length = rng.randint(1, 2)
+        queries.add(frozenset(rng.sample(properties, length)))
+    queries = sorted(queries, key=sorted)
+    costs = {}
+    for q in queries:
+        from repro.core import powerset_classifiers
+
+        for c in powerset_classifiers(q):
+            if c not in costs:
+                value = rng.randint(0, 9)
+                costs[c] = math.inf if rng.random() < 0.1 and len(c) == 2 else float(value)
+    # Make sure singletons are finite so feasibility always holds.
+    for q in queries:
+        for p in q:
+            if math.isinf(costs.get(frozenset({p}), 1.0)):
+                costs[frozenset({p})] = 1.0
+    return BCCInstance(queries, costs=costs, budget=1.0)
+
+
+class TestExactL2:
+    def test_singleton_query(self):
+        instance = BCCInstance([fs("x")], costs={fs("x"): 3.0}, budget=1.0)
+        solution = solve_mc3_l2(instance)
+        assert solution == {fs("x")}
+
+    def test_pair_prefers_cheaper_option(self):
+        costs = {fs("x"): 5.0, fs("y"): 5.0, fs("xy"): 3.0}
+        instance = BCCInstance([fs("xy")], costs=costs, budget=1.0)
+        assert solve_mc3_l2(instance) == {fs("xy")}
+
+    def test_pair_prefers_singletons_when_shared(self):
+        # Two pair queries sharing x: singletons win through sharing.
+        costs = {
+            fs("x"): 2.0,
+            fs("y"): 2.0,
+            fs("z"): 2.0,
+            fs("xy"): 3.5,
+            fs("xz"): 3.5,
+        }
+        instance = BCCInstance([fs("xy"), fs("xz")], costs=costs, budget=1.0)
+        solution = solve_mc3_l2(instance)
+        cost = sum(instance.cost(c) for c in solution)
+        assert cost == pytest.approx(6.0)
+        assert solution == {fs("x"), fs("y"), fs("z")}
+
+    def test_impractical_pair_forces_singletons(self):
+        costs = {fs("x"): 2.0, fs("y"): 2.0, fs("xy"): math.inf}
+        instance = BCCInstance([fs("xy")], costs=costs, budget=1.0)
+        assert solve_mc3_l2(instance) == {fs("x"), fs("y")}
+
+    def test_impractical_singleton_forces_pair(self):
+        costs = {fs("x"): math.inf, fs("y"): 2.0, fs("xy"): 9.0}
+        instance = BCCInstance([fs("xy")], costs=costs, budget=1.0)
+        assert solve_mc3_l2(instance) == {fs("xy")}
+
+    def test_infeasible_singleton_query(self):
+        instance = BCCInstance([fs("x")], costs={fs("x"): math.inf}, budget=1.0)
+        with pytest.raises(InfeasibleCoverError):
+            solve_mc3_l2(instance)
+
+    def test_infeasible_pair_query(self):
+        costs = {fs("x"): math.inf, fs("y"): 2.0, fs("xy"): math.inf}
+        instance = BCCInstance([fs("xy")], costs=costs, budget=1.0)
+        with pytest.raises(InfeasibleCoverError):
+            solve_mc3_l2(instance)
+
+    def test_long_query_rejected(self):
+        instance = BCCInstance([fs("xyz")], budget=1.0)
+        with pytest.raises(ValueError):
+            solve_mc3_l2(instance)
+
+    def test_preselected_are_free(self):
+        costs = {fs("x"): 5.0, fs("y"): 5.0, fs("xy"): 3.0}
+        instance = BCCInstance([fs("xy")], costs=costs, budget=1.0)
+        solution = solve_mc3_l2(instance, preselected=frozenset({fs("x")}))
+        # With X free, buying Y (5) loses to XY (3)? No: X free + Y 5 = 5 vs 3.
+        cost = sum(
+            0.0 if c == fs("x") else instance.cost(c) for c in solution
+        )
+        assert cost == pytest.approx(3.0)
+
+    def test_restricted_availability(self):
+        costs = {fs("x"): 2.0, fs("y"): 2.0, fs("xy"): 1.0}
+        instance = BCCInstance([fs("xy")], costs=costs, budget=1.0)
+        solution = solve_mc3_l2(instance, available=[fs("x"), fs("y")])
+        assert solution == {fs("x"), fs("y")}
+
+    @given(seed=st.integers(0, 3000))
+    @settings(max_examples=50, deadline=None)
+    def test_exact_matches_brute_force(self, seed):
+        instance = random_l2_instance(seed)
+        solution = solve_mc3_l2(instance)
+        covered = covered_queries(instance, solution)
+        assert all(q in covered for q in instance.queries)
+        cost = sum(instance.cost(c) for c in solution)
+        assert cost == pytest.approx(brute_force_mc3(instance))
+
+
+class TestGreedy:
+    def test_three_long_query(self):
+        costs = {
+            fs("x"): 1.0,
+            fs("y"): 1.0,
+            fs("z"): 1.0,
+            fs("xy"): 1.5,
+            fs("yz"): 1.5,
+            fs("xz"): 1.5,
+            fs("xyz"): 2.0,
+        }
+        instance = BCCInstance([fs("xyz")], costs=costs, budget=1.0)
+        solution = solve_mc3_greedy(instance)
+        assert covered_queries(instance, solution) == {fs("xyz")}
+        assert sum(instance.cost(c) for c in solution) == pytest.approx(2.0)
+
+    def test_infeasible_raises(self):
+        instance = BCCInstance(
+            [fs("xyz")],
+            costs={c: math.inf for c in BCCInstance([fs("xyz")], budget=0).relevant_classifiers()},
+            budget=1.0,
+        )
+        with pytest.raises(InfeasibleCoverError):
+            solve_mc3_greedy(instance)
+
+    def test_shared_classifier_reused_free(self):
+        # After selecting X for query xy, covering xz should reuse it.
+        costs = {
+            fs("x"): 3.0,
+            fs("y"): 1.0,
+            fs("z"): 1.0,
+            fs("xy"): 10.0,
+            fs("xz"): 10.0,
+        }
+        instance = BCCInstance([fs("xy"), fs("xz")], costs=costs, budget=1.0)
+        solution = solve_mc3_greedy(instance)
+        assert sum(instance.cost(c) for c in solution) == pytest.approx(5.0)
+
+    @given(seed=st.integers(0, 2000))
+    @settings(max_examples=30, deadline=None)
+    def test_greedy_always_covers(self, seed):
+        rng = random.Random(seed)
+        properties = list("abcde")
+        queries = set()
+        while len(queries) < 4:
+            queries.add(frozenset(rng.sample(properties, rng.randint(1, 3))))
+        instance = BCCInstance(sorted(queries, key=sorted), budget=1.0)
+        solution = solve_mc3_greedy(instance)
+        covered = covered_queries(instance, solution)
+        assert all(q in covered for q in instance.queries)
+
+
+class TestCheapestResidualCover:
+    def test_free_when_covered(self):
+        result = cheapest_residual_cover(fs("xy"), [], {"x", "y"})
+        assert result == (0.0, frozenset())
+
+    def test_picks_cheapest(self):
+        candidates = [(fs("xy"), 3.0), (fs("x"), 1.0), (fs("y"), 1.5)]
+        cost, cover = cheapest_residual_cover(fs("xy"), candidates, set())
+        assert cost == pytest.approx(2.5)
+        assert cover == {fs("x"), fs("y")}
+
+    def test_residual_reduction(self):
+        candidates = [(fs("xy"), 3.0), (fs("y"), 1.5)]
+        cost, cover = cheapest_residual_cover(fs("xy"), candidates, {"x"})
+        assert cost == pytest.approx(1.5)
+        assert cover == {fs("y")}
+
+    def test_uncoverable_returns_none(self):
+        assert cheapest_residual_cover(fs("xy"), [(fs("x"), 1.0)], set()) is None
+
+
+class TestDispatcherAndBound:
+    def test_mixed_lengths(self):
+        queries = [fs("x"), fs("xy"), fs("xyz")]
+        instance = BCCInstance(queries, budget=1.0)
+        solution = solve_mc3(instance)
+        covered = covered_queries(instance, solution)
+        assert all(q in covered for q in instance.queries)
+
+    def test_full_cover_cost_fig1(self, fig1_b11):
+        # Covering all three Figure 1 queries requires X, Y, Z (cost 11);
+        # YZ is free and XY is impractical.
+        assert full_cover_cost(fig1_b11) == pytest.approx(11.0)
+
+    @given(seed=st.integers(0, 1500))
+    @settings(max_examples=30, deadline=None)
+    def test_hybrid_cost_close_to_optimal_l2(self, seed):
+        instance = random_l2_instance(seed)
+        cost = sum(instance.cost(c) for c in solve_mc3(instance))
+        assert cost == pytest.approx(brute_force_mc3(instance))
