@@ -20,11 +20,11 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import FrozenSet, Optional, Set
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.algorithms.pruning import PruningConfig, prune_classifiers, prune_qk_graph
 from repro.algorithms.residual import ResidualProblem
-from repro.core.model import BCCInstance, Classifier
+from repro.core.model import BCCInstance, Classifier, Query
 from repro.core.solution import Solution, evaluate
 from repro.knapsack.solvers import solve_knapsack
 from repro.mc3 import InfeasibleCoverError, solve_mc3
@@ -126,6 +126,11 @@ def _cover_greedy_pick(
     exhausted.  Uses the same minimal-cover search as the MC3 greedy; a
     lazy heap re-validates each query's cached cover on pop (costs only
     drop as classifiers accumulate).
+
+    Entries popped while unaffordable are *parked*, not dropped: a later
+    purchase can make cover members free (or cover missing properties),
+    shrinking the cover's residual cost, so parked entries re-enter the
+    heap after every purchase and late-affordable covers are still bought.
     """
     import heapq
 
@@ -134,7 +139,7 @@ def _cover_greedy_pick(
 
     workload = residual.workload
     picked: Set[Classifier] = set()
-    covered_props: Dict = {
+    covered_props: Dict[Query, Set[str]] = {
         q: set(q) - set(residual.missing(q)) for q in residual.uncovered_queries()
     }
     remaining = budget
@@ -142,20 +147,24 @@ def _cover_greedy_pick(
     def cover_of(query):
         candidates = []
         for classifier in powerset_classifiers(query):
-            if classifier in picked or classifier in residual.selected:
+            if classifier in picked or residual.tracker.is_selected(classifier):
                 candidates.append((classifier, 0.0))
             elif residual.usable(classifier, budget):
                 candidates.append((classifier, workload.cost(classifier)))
         return cheapest_residual_cover(query, candidates, covered_props[query])
 
-    heap = []
+    def ratio_of(query, cost: float) -> float:
+        return -math.inf if cost <= 0 else -workload.utility(query) / cost
+
+    heap: List[Tuple[float, float, int, Query]] = []
     for index, query in enumerate(covered_props):
         found = cover_of(query)
         if found is None:
             continue
         cost, _ = found
-        ratio = -math.inf if cost <= 0 else -workload.utility(query) / cost
-        heapq.heappush(heap, (ratio, cost, index, query))
+        heapq.heappush(heap, (ratio_of(query, cost), cost, index, query))
+
+    parked: List[Tuple[float, float, int, Query]] = []
 
     while heap and remaining > 1e-9:
         ratio, cached_cost, index, query = heapq.heappop(heap)
@@ -165,19 +174,25 @@ def _cover_greedy_pick(
         if found is None:
             continue
         cost, cover = found
-        if cost > remaining + 1e-9:
-            continue  # unaffordable; dropped (budget only shrinks)
         if cost < cached_cost - 1e-12:
-            new_ratio = -math.inf if cost <= 0 else -workload.utility(query) / cost
-            heapq.heappush(heap, (new_ratio, cost, index, query))
+            heapq.heappush(heap, (ratio_of(query, cost), cost, index, query))
+            continue
+        if cost > remaining + 1e-9:
+            # Currently unaffordable: park the entry instead of dropping
+            # it; the next purchase re-queues it with fresh costs.
+            parked.append((ratio, cost, index, query))
             continue
         for classifier in cover:
-            if classifier not in picked and classifier not in residual.selected:
+            if classifier not in picked and not residual.tracker.is_selected(classifier):
                 picked.add(classifier)
                 remaining -= workload.cost(classifier)
             for other in workload.queries_containing(classifier):
                 if other in covered_props:
                     covered_props[other] |= classifier
+        if parked:
+            for entry in parked:
+                heapq.heappush(heap, entry)
+            parked = []
     return frozenset(picked)
 
 
@@ -201,12 +216,12 @@ def _mc3_improve(residual: ResidualProblem, instance: BCCInstance) -> None:
     alt_cost = sum(instance.cost(c) for c in alternative)
     if alt_cost >= current_cost - 1e-9:
         return
-    probe = ResidualProblem(instance)
-    probe.select(alternative)
-    if covered <= set(probe.tracker.covered):
-        # Swap: rebuild the residual state around the cheaper selection.
-        residual.__init__(instance, allowed=residual._allowed)
-        residual.select(alternative)
+    # Swap the cheaper selection in through the engine's reset (never
+    # re-__init__ the residual in place); revert if it fails to re-cover
+    # everything the current selection covers.
+    residual.reset(alternative)
+    if not covered <= set(residual.tracker.covered):
+        residual.reset(current)
 
 
 def _swap_polish(
@@ -218,44 +233,61 @@ def _swap_polish(
     """Bounded 1-for-1 swap local search on the final selection.
 
     Tries to swap a low-marginal selected classifier for an unselected one
-    when the true utility strictly improves within the budget.  All
-    utility deltas are computed incrementally over the affected queries
-    only; the number of swap trials is capped so the pass stays cheap.
+    when the true utility strictly improves within the budget.  Coverage
+    tests run off a contributor map (the selected subsets of each affected
+    query, maintained across accepted swaps) instead of re-enumerating
+    ``2^q`` per trial, and the running spend is maintained incrementally
+    by the tracker.
     """
-    from repro.core.model import powerset_classifiers
+    from repro.core.coverage import CoverageTracker
 
-    def is_covered(query, chosen: Set[Classifier]) -> bool:
-        remaining = set(query)
-        for c in powerset_classifiers(query):
-            if c in chosen:
-                remaining -= c
-                if not remaining:
-                    return True
-        return not remaining
-
+    tracker = CoverageTracker(instance)
+    tracker.add_all(selection)
     current = set(selection)
-    spent = sum(instance.cost(c) for c in current)
+
+    contributors: Dict[Query, Set[Classifier]] = {}
+    for classifier in current:
+        for query in instance.queries_containing(classifier):
+            contributors.setdefault(query, set()).add(classifier)
+
+    def covered_after(
+        query: Query, out: Optional[Classifier], incoming: Optional[Classifier]
+    ) -> bool:
+        """Coverage of ``(current - {out}) | {incoming}`` restricted to ``query``."""
+        union: Set[str] = set()
+        if incoming is not None and incoming <= query:
+            union |= incoming
+        target = set(query)
+        if target <= union:
+            return True
+        for c in contributors.get(query, ()):
+            if c != out:
+                union |= c
+                if target <= union:
+                    return True
+        return False
 
     def swap_delta(out: Optional[Classifier], incoming: Classifier) -> float:
         affected = set(instance.queries_containing(incoming))
         if out is not None:
             affected |= set(instance.queries_containing(out))
-        trial = (current - {out}) | {incoming} if out else current | {incoming}
         delta = 0.0
         for query in affected:
-            before = is_covered(query, current)
-            after = is_covered(query, trial)
+            before = tracker.is_query_covered(query)
+            after = covered_after(query, out, incoming)
             if before != after:
                 delta += instance.utility(query) * (1.0 if after else -1.0)
         return delta
 
-    # Swap-in candidates ranked by optimistic completion value per cost.
-    gain_hint = {}
-    for query in instance.queries:
-        utility = instance.utility(query)
-        for c in powerset_classifiers(query):
-            if c in allowed and c not in current:
-                gain_hint[c] = gain_hint.get(c, 0.0) + utility
+    # Swap-in candidates ranked by optimistic completion value per cost
+    # (the classifier→query index replaces the per-query power-set walk).
+    gain_hint: Dict[Classifier, float] = {}
+    for c in allowed:
+        if c in current:
+            continue
+        hint = sum(instance.utility(q) for q in instance.queries_containing(c))
+        if hint > 0:
+            gain_hint[c] = hint
     candidates = sorted(
         gain_hint,
         key=lambda c: (-gain_hint[c] / max(instance.cost(c), 1e-12), sorted(c)),
@@ -272,7 +304,7 @@ def _swap_polish(
                 continue
             loss = 0.0
             for query in instance.queries_containing(out):
-                if is_covered(query, current) and not is_covered(query, current - {out}):
+                if tracker.is_query_covered(query) and not covered_after(query, out, None):
                     loss += instance.utility(query)
             marginal[out] = loss
         removable = sorted(
@@ -285,15 +317,20 @@ def _swap_polish(
                 if incoming in current:
                     continue
                 cost_in = instance.cost(incoming)
-                if spent - refund + cost_in > instance.budget + 1e-9:
+                if tracker.spent - refund + cost_in > instance.budget + 1e-9:
                     continue
                 if trials >= eval_cap:
                     break
                 trials += 1
                 delta = swap_delta(out, incoming)
                 if delta > 1e-9:
+                    tracker.remove(out)
+                    tracker.add(incoming)
+                    for query in instance.queries_containing(out):
+                        contributors.get(query, set()).discard(out)
+                    for query in instance.queries_containing(incoming):
+                        contributors.setdefault(query, set()).add(incoming)
                     current = (current - {out}) | {incoming}
-                    spent = spent - refund + cost_in
                     improved = True
                     break
             if improved:
@@ -325,77 +362,86 @@ def solve_bcc(instance: BCCInstance, config: Optional[AbccConfig] = None) -> Sol
 
     rounds = 0
     throttled = True
+    round_times: List[float] = []
+    qk_nodes: List[int] = []
+    qk_edges: List[int] = []
     while rounds < config.max_rounds:
         rounds += 1
-        remaining = instance.budget - residual.spent()
-        if remaining <= 1e-9:
-            break
-        if rounds >= config.max_rounds - 1:
-            throttled = False  # last chance: spend whatever remains
-        round_throttled = throttled
-        round_budget = (
-            remaining * config.first_round_fraction if round_throttled else remaining
-        )
-        if not config.throttle_all_rounds:
-            throttled = False  # only the first round is throttled
-
-        # ------------------------------------------------------------------
-        # line 2: BCC(1) via Knapsack and BCC(2) via A_H^QK, best of the two
-        # ------------------------------------------------------------------
-        items = residual.knapsack_items(round_budget)
-        _, chosen_items = solve_knapsack(items, round_budget)
-        knapsack_pick = frozenset(item.key for item in chosen_items)
-
-        qk_graph = residual.qk_graph(round_budget, config.max_qk_query_length)
-        if config.pruning is not None:
-            qk_graph = prune_qk_graph(qk_graph, config.pruning)
-        if config.qk_singleton_bonus:
-            qk_graph = _augment_with_singleton_bonus(residual, qk_graph, round_budget)
-        qk_pick: FrozenSet[Classifier] = frozenset()
-        if qk_graph.num_edges() > 0:
-            qk_pick = frozenset(
-                c for c in solve_qk(qk_graph, round_budget, config.qk)
-                if c != _SINGLETON_BONUS
+        round_started = time.perf_counter()
+        try:
+            remaining = instance.budget - residual.spent()
+            if remaining <= 1e-9:
+                break
+            if rounds >= config.max_rounds - 1:
+                throttled = False  # last chance: spend whatever remains
+            round_throttled = throttled
+            round_budget = (
+                remaining * config.first_round_fraction if round_throttled else remaining
             )
+            if not config.throttle_all_rounds:
+                throttled = False  # only the first round is throttled
 
-        picks = [knapsack_pick, qk_pick]
-        if config.cover_greedy_arm:
-            uncovered = residual.uncovered_queries()
-            total_uncovered = sum(instance.utility(q) for q in uncovered)
-            deep = sum(
-                instance.utility(q)
-                for q in uncovered
-                if len(residual.missing(q)) >= 3
-            )
-            if total_uncovered > 0 and deep / total_uncovered >= config.cover_arm_threshold:
-                picks.append(_cover_greedy_pick(residual, round_budget))
+            # --------------------------------------------------------------
+            # line 2: BCC(1) via Knapsack and BCC(2) via A_H^QK, best of two
+            # --------------------------------------------------------------
+            items = residual.knapsack_items(round_budget)
+            _, chosen_items = solve_knapsack(items, round_budget)
+            knapsack_pick = frozenset(item.key for item in chosen_items)
 
-        # True-coverage comparison; infeasible picks are discarded.
-        best_pick: FrozenSet[Classifier] = frozenset()
-        best_gain = 0.0
-        best_cost = 0.0
-        for pick in picks:
-            gain, cost = residual.evaluate_gain(pick)
-            if cost <= remaining + 1e-9 and (
-                gain > best_gain + 1e-9
-                or (gain > 0 and abs(gain - best_gain) <= 1e-9 and cost < best_cost)
-            ):
-                best_pick, best_gain, best_cost = pick, gain, cost
+            qk_graph = residual.qk_graph(round_budget, config.max_qk_query_length)
+            if config.pruning is not None:
+                qk_graph = prune_qk_graph(qk_graph, config.pruning)
+            if config.qk_singleton_bonus:
+                qk_graph = _augment_with_singleton_bonus(residual, qk_graph, round_budget)
+            qk_nodes.append(len(qk_graph))
+            qk_edges.append(qk_graph.num_edges())
+            qk_pick: FrozenSet[Classifier] = frozenset()
+            if qk_graph.num_edges() > 0:
+                qk_pick = frozenset(
+                    c for c in solve_qk(qk_graph, round_budget, config.qk)
+                    if c != _SINGLETON_BONUS
+                )
 
-        if best_gain <= 0:
-            if round_throttled:
-                # The throttled round found nothing affordable; retry
-                # with the full remaining budget before giving up.
-                throttled = False
-                continue
-            break
-        residual.select(best_pick)
+            picks = [knapsack_pick, qk_pick]
+            if config.cover_greedy_arm:
+                uncovered = residual.uncovered_queries()
+                total_uncovered = sum(instance.utility(q) for q in uncovered)
+                deep = sum(
+                    instance.utility(q)
+                    for q in uncovered
+                    if len(residual.missing(q)) >= 3
+                )
+                if total_uncovered > 0 and deep / total_uncovered >= config.cover_arm_threshold:
+                    picks.append(_cover_greedy_pick(residual, round_budget))
 
-        # ------------------------------------------------------------------
-        # line 3: MC3 local-search improvement
-        # ------------------------------------------------------------------
-        if config.use_mc3:
-            _mc3_improve(residual, instance)
+            # True-coverage comparison; infeasible picks are discarded.
+            best_pick: FrozenSet[Classifier] = frozenset()
+            best_gain = 0.0
+            best_cost = 0.0
+            for pick in picks:
+                gain, cost = residual.evaluate_gain(pick)
+                if cost <= remaining + 1e-9 and (
+                    gain > best_gain + 1e-9
+                    or (gain > 0 and abs(gain - best_gain) <= 1e-9 and cost < best_cost)
+                ):
+                    best_pick, best_gain, best_cost = pick, gain, cost
+
+            if best_gain <= 0:
+                if round_throttled:
+                    # The throttled round found nothing affordable; retry
+                    # with the full remaining budget before giving up.
+                    throttled = False
+                    continue
+                break
+            residual.select(best_pick)
+
+            # --------------------------------------------------------------
+            # line 3: MC3 local-search improvement
+            # --------------------------------------------------------------
+            if config.use_mc3:
+                _mc3_improve(residual, instance)
+        finally:
+            round_times.append(time.perf_counter() - round_started)
 
     final_selection: Set[Classifier] = set(residual.selected)
     if config.final_polish:
@@ -411,6 +457,14 @@ def solve_bcc(instance: BCCInstance, config: Optional[AbccConfig] = None) -> Sol
             "rounds": rounds,
             "allowed_classifiers": len(allowed),
             "runtime_sec": time.perf_counter() - started,
+            "engine": {
+                "rebuilds_avoided": residual.stats["rebuilds_avoided"],
+                "resets": residual.stats["resets"],
+                "rollbacks": residual.tracker.rollbacks,
+                "qk_nodes": qk_nodes,
+                "qk_edges": qk_edges,
+                "round_times_sec": round_times,
+            },
         },
     )
     return solution

@@ -2,7 +2,10 @@
 
 Enumerates include/exclude decisions over the feasible relevant classifiers
 ordered by potential utility, with an optimistic bound (utility of every
-query still coverable by the remaining classifier suffix).
+query still coverable by the remaining classifier suffix).  Node utilities
+come from one shared :class:`CoverageTracker` driven through its
+checkpoint/rollback undo log — the search never re-derives coverage of the
+current prefix from scratch.
 """
 
 from __future__ import annotations
@@ -10,6 +13,7 @@ from __future__ import annotations
 import math
 from typing import List, Set, Tuple
 
+from repro.core.coverage import CoverageTracker
 from repro.core.model import BCCInstance, Classifier
 from repro.core.solution import Solution, evaluate
 
@@ -44,22 +48,12 @@ def solve_bcc_exact(instance: BCCInstance) -> Solution:
     best_utility = -1.0
     best_selection: Tuple[Classifier, ...] = ()
 
-    def utility_of(chosen: List[Classifier]) -> float:
-        total = 0.0
-        for query in instance.queries:
-            union: Set[str] = set()
-            for classifier in chosen:
-                if classifier <= query:
-                    union |= classifier
-            if union == set(query):
-                total += instance.utility(query)
-        return total
+    tracker = CoverageTracker(instance)
 
     def search(index: int, chosen: List[Classifier], cost: float) -> None:
         nonlocal best_utility, best_selection
-        utility = utility_of(chosen)
-        if utility > best_utility:
-            best_utility = utility
+        if tracker.utility > best_utility:
+            best_utility = tracker.utility
             best_selection = tuple(chosen)
         if index == len(classifiers):
             return
@@ -73,7 +67,10 @@ def solve_bcc_exact(instance: BCCInstance) -> Solution:
         classifier = classifiers[index]
         if cost + instance.cost(classifier) <= instance.budget + 1e-9:
             chosen.append(classifier)
+            tracker.checkpoint()
+            tracker.add(classifier)
             search(index + 1, chosen, cost + instance.cost(classifier))
+            tracker.rollback()
             chosen.pop()
         search(index + 1, chosen, cost)
 

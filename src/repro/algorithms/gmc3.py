@@ -106,7 +106,7 @@ def _greedy_candidate(instance: GMC3Instance) -> Optional[FrozenSet[Classifier]]
     while tracker.utility < instance.target - 1e-9:
         best, best_key = None, (-1.0, -1.0)
         for classifier in pool:
-            if classifier in tracker.selected:
+            if tracker.is_selected(classifier):
                 continue
             gain = sum(
                 instance.utility(q)

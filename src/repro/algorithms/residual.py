@@ -50,6 +50,9 @@ class ResidualProblem:
         self._allowed: Optional[Set[Classifier]] = (
             None if allowed is None else set(allowed)
         )
+        #: Engine telemetry: candidate evaluations served by the undo log
+        #: (each one a full tracker rebuild avoided) and selection resets.
+        self.stats: Dict[str, int] = {"rebuilds_avoided": 0, "resets": 0}
 
     # ------------------------------------------------------------------
     # selection state
@@ -65,12 +68,23 @@ class ResidualProblem:
         return self.tracker.utility
 
     def spent(self) -> float:
-        """Total cost of the selected classifiers."""
-        return sum(self.workload.cost(c) for c in self.tracker.selected)
+        """Total cost of the selected classifiers (tracked incrementally)."""
+        return self.tracker.spent
 
     def select(self, classifiers: Iterable[Classifier]) -> List[Query]:
         """Select classifiers; returns the newly covered queries."""
         return self.tracker.add_all(classifiers)
+
+    def reset(self, classifiers: Iterable[Classifier]) -> List[Query]:
+        """Replace the whole selection with ``classifiers`` in place.
+
+        Restores the tracker's pristine state and re-selects, so callers
+        (the MC3 swap-in) never re-``__init__`` the residual object; the
+        allowed whitelist is preserved.  Returns the covered queries.
+        """
+        self.tracker.reset()
+        self.stats["resets"] += 1
+        return self.select(classifiers)
 
     def uncovered_queries(self) -> List[Query]:
         """Queries not yet covered, in workload order."""
@@ -87,7 +101,7 @@ class ResidualProblem:
     # ------------------------------------------------------------------
     def usable(self, classifier: Classifier, budget: float) -> bool:
         """Unselected, allowed, finite cost within ``budget``."""
-        if classifier in self.tracker.selected:
+        if self.tracker.is_selected(classifier):
             return False
         if self._allowed is not None and classifier not in self._allowed:
             return False
@@ -162,7 +176,30 @@ class ResidualProblem:
 
     # ------------------------------------------------------------------
     def evaluate_gain(self, classifiers: Iterable[Classifier]) -> Tuple[float, float]:
-        """True (utility gain, cost) of adding ``classifiers`` — no side effects."""
+        """True (utility gain, cost) of adding ``classifiers`` — no side effects.
+
+        Runs against the live tracker under a checkpoint and rolls back,
+        so the cost is proportional to the trial addition rather than to a
+        full coverage rebuild of the current selection.
+        """
+        addition = [c for c in classifiers if not self.tracker.is_selected(c)]
+        cost = sum(self.workload.cost(c) for c in addition)
+        before = self.tracker.utility
+        self.tracker.checkpoint()
+        self.tracker.add_all(addition)
+        gain = self.tracker.utility - before
+        self.tracker.rollback()
+        self.stats["rebuilds_avoided"] += 1
+        return gain, cost
+
+    def _rebuild_evaluate_gain(
+        self, classifiers: Iterable[Classifier]
+    ) -> Tuple[float, float]:
+        """Legacy gain evaluation rebuilding a fresh tracker per call.
+
+        Kept only as the "before" arm of ``bench_coverage_engine``; the
+        solver always uses :meth:`evaluate_gain`.
+        """
         addition = [c for c in classifiers if c not in self.tracker.selected]
         cost = sum(self.workload.cost(c) for c in addition)
         probe = CoverageTracker(self.workload)

@@ -42,9 +42,14 @@ class BaseSelector:
 
     def cost_of(self, classifier: Classifier) -> float:
         """Incremental cost of ``classifier`` (0 once selected)."""
-        if classifier in self.tracker.selected:
+        if self.tracker.is_selected(classifier):
             return 0.0
         return self.workload.cost(classifier)
+
+    @property
+    def spent(self) -> float:
+        """Total cost paid so far (maintained incrementally by the tracker)."""
+        return self.tracker.spent
 
     def add(self, classifiers: FrozenSet[Classifier]) -> float:
         """Select ``classifiers``; returns the incremental cost paid."""
@@ -81,7 +86,7 @@ class RandomSelector(BaseSelector):
         while self._cursor < len(self._order):
             candidate = self._order[self._cursor]
             self._cursor += 1
-            if candidate in self.tracker.selected:
+            if self.tracker.is_selected(candidate):
                 continue
             if remaining is not None and self.workload.cost(candidate) > remaining + 1e-9:
                 skipped.append(candidate)
@@ -166,7 +171,7 @@ class IG2Selector(BaseSelector):
         best: Optional[Classifier] = None
         best_key: Tuple[float, float] = (-1.0, -1.0)
         for classifier in self.pool:
-            if classifier in self.tracker.selected:
+            if self.tracker.is_selected(classifier):
                 continue
             cost = self.workload.cost(classifier)
             if remaining is not None and cost > remaining + 1e-9:

@@ -12,6 +12,7 @@ contributes a property no other member has.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.model import Classifier, ClassifierWorkload, Query
@@ -126,14 +127,45 @@ class CoverageTracker:
     properties already covered; a query flips to covered when its missing
     set empties.  Selection order does not matter and re-adding a classifier
     is a no-op.
+
+    The tracker is the shared *coverage engine* of every solver arm: besides
+    plain adds it supports
+
+    - :meth:`checkpoint` / :meth:`rollback` — an undo log of per-add deltas,
+      so candidate evaluations (``evaluate_gain``, branch-and-bound probes)
+      run against the live tracker and unwind in time proportional to the
+      trial, never rebuilding from scratch;
+    - :meth:`remove` — incremental deselection touching only the queries
+      that contain the removed classifier (used by the swap-polish local
+      search), with :meth:`contributors` computed on demand from the
+      workload's property→classifier index so plain adds pay nothing for
+      the removal machinery;
+    - :meth:`reset` — restore the pristine empty selection in one pass
+      (used to swap in a cheaper MC3 selection without re-``__init__``);
+    - an incrementally maintained :attr:`spent` total, and engine counters
+      (``constructed`` class-wide, ``rollbacks`` per instance) surfaced in
+      ``Solution.meta`` by the solvers.
     """
 
+    #: Class-wide count of tracker constructions (engine telemetry; tests
+    #: assert hot paths stay rebuild-free by snapshotting this counter).
+    constructed: int = 0
+
     def __init__(self, workload: ClassifierWorkload) -> None:
+        type(self).constructed += 1
         self._workload = workload
         self._missing: Dict[Query, Set[str]] = {q: set(q) for q in workload.queries}
         self._covered: Set[Query] = set()
         self._selected: Set[Classifier] = set()
         self._utility = 0.0
+        self._spent = 0.0
+        # Undo log: entries appended only while a checkpoint is active.
+        # Each entry is (classifier, newly_covered, {query: props removed}).
+        self._undo: List[Tuple[Classifier, List[Query], Dict[Query, Set[str]]]] = []
+        # Checkpoint stack: (undo-log mark, utility snapshot, spent snapshot).
+        self._checkpoints: List[Tuple[int, float, float]] = []
+        #: Number of rollbacks performed (engine telemetry).
+        self.rollbacks: int = 0
 
     @property
     def selected(self) -> FrozenSet[Classifier]:
@@ -150,6 +182,20 @@ class CoverageTracker:
         """Total utility of the covered queries."""
         return self._utility
 
+    @property
+    def spent(self) -> float:
+        """Total construction cost of the selected classifiers."""
+        return self._spent
+
+    @property
+    def num_selected(self) -> int:
+        """Number of selected classifiers (no frozenset materialization)."""
+        return len(self._selected)
+
+    def is_selected(self, classifier: Classifier) -> bool:
+        """Whether ``classifier`` is currently selected (O(1))."""
+        return classifier in self._selected
+
     def is_query_covered(self, query: Query) -> bool:
         """Whether ``query`` is covered by the current selection."""
         return query in self._covered
@@ -158,21 +204,43 @@ class CoverageTracker:
         """Properties of ``query`` not yet covered by any selected subset classifier."""
         return frozenset(self._missing[query])
 
+    def contributors(self, query: Query) -> FrozenSet[Classifier]:
+        """Selected classifiers that are subsets of ``query``.
+
+        Exactly the classifiers whose union determines whether ``query`` is
+        covered; swap local searches test "covered without ``c``" from this
+        set instead of re-enumerating ``2^q``.  Computed on demand through
+        the workload's property→classifier index — the add hot path keeps
+        no per-query contributor bookkeeping.
+        """
+        return frozenset(self._workload.subset_classifiers(query, self._selected))
+
     def add(self, classifier: Classifier) -> List[Query]:
         """Select ``classifier``; return queries that became covered."""
         if classifier in self._selected:
             return []
         self._selected.add(classifier)
+        self._spent += self._workload.cost(classifier)
+        logging = bool(self._checkpoints)
+        removed: Dict[Query, Set[str]] = {}
         newly_covered: List[Query] = []
         for query in self._workload.queries_containing(classifier):
             if query in self._covered:
                 continue
             missing = self._missing[query]
-            missing -= classifier
+            if logging:
+                delta = missing & classifier
+                if delta:
+                    removed[query] = delta
+                    missing -= delta
+            else:
+                missing -= classifier
             if not missing:
                 self._covered.add(query)
                 self._utility += self._workload.utility(query)
                 newly_covered.append(query)
+        if logging:
+            self._undo.append((classifier, newly_covered, removed))
         return newly_covered
 
     def add_all(self, classifiers: Iterable[Classifier]) -> List[Query]:
@@ -181,3 +249,77 @@ class CoverageTracker:
         for classifier in classifiers:
             newly.extend(self.add(classifier))
         return newly
+
+    # ------------------------------------------------------------------
+    # incremental engine: checkpoint / rollback / remove / reset
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> int:
+        """Start recording undo deltas; returns the checkpoint depth.
+
+        Checkpoints nest: each :meth:`rollback` unwinds to the most recent
+        one.  While any checkpoint is active, :meth:`remove` is forbidden
+        (the undo log only records additive deltas).
+        """
+        self._checkpoints.append((len(self._undo), self._utility, self._spent))
+        return len(self._checkpoints)
+
+    def rollback(self) -> None:
+        """Undo every :meth:`add` since the most recent :meth:`checkpoint`.
+
+        Restores ``selected`` / ``covered`` / per-query missing sets exactly,
+        and ``utility`` / ``spent`` bit-identically (from the checkpoint
+        snapshot, immune to floating-point re-accumulation drift).
+        """
+        if not self._checkpoints:
+            raise RuntimeError("rollback() without an active checkpoint")
+        mark, utility_snapshot, spent_snapshot = self._checkpoints.pop()
+        while len(self._undo) > mark:
+            classifier, newly_covered, removed = self._undo.pop()
+            self._selected.discard(classifier)
+            for query in newly_covered:
+                self._covered.discard(query)
+            for query, delta in removed.items():
+                self._missing[query] |= delta
+        self._utility = utility_snapshot
+        self._spent = spent_snapshot
+        self.rollbacks += 1
+
+    def remove(self, classifier: Classifier) -> List[Query]:
+        """Deselect ``classifier``; return queries that became uncovered.
+
+        Missing sets are recomputed only for the queries containing
+        ``classifier``, from the remaining selected subset classifiers.
+        Not allowed while a checkpoint is active.
+        """
+        if self._checkpoints:
+            raise RuntimeError("remove() is not allowed inside a checkpoint")
+        if classifier not in self._selected:
+            return []
+        self._selected.discard(classifier)
+        cost = self._workload.cost(classifier)
+        if math.isinf(cost):
+            self._spent = sum(self._workload.cost(c) for c in self._selected)
+        else:
+            self._spent -= cost
+        newly_uncovered: List[Query] = []
+        for query in self._workload.queries_containing(classifier):
+            union: Set[str] = set()
+            for other in self._workload.subset_classifiers(query, self._selected):
+                union |= other
+            missing = set(query) - union
+            self._missing[query] = missing
+            if missing and query in self._covered:
+                self._covered.discard(query)
+                self._utility -= self._workload.utility(query)
+                newly_uncovered.append(query)
+        return newly_uncovered
+
+    def reset(self) -> None:
+        """Restore the pristine empty-selection state in one pass."""
+        self._missing = {q: set(q) for q in self._workload.queries}
+        self._covered.clear()
+        self._selected.clear()
+        self._utility = 0.0
+        self._spent = 0.0
+        self._undo.clear()
+        self._checkpoints.clear()

@@ -14,7 +14,17 @@ from __future__ import annotations
 import itertools
 import math
 from collections import Counter
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.core.errors import InvalidInstanceError
 from repro.core.properties import PropertySet
@@ -102,6 +112,8 @@ class ClassifierWorkload:
         self.default_cost = float(default_cost)
         self._relevant_cache: Optional[FrozenSet[Classifier]] = None
         self._property_index: Optional[Dict[str, List[Query]]] = None
+        self._classifier_index: Optional[Dict[str, List[Classifier]]] = None
+        self._containing_cache: Dict[PropertySet, Tuple[Query, ...]] = {}
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -160,8 +172,17 @@ class ClassifierWorkload:
             if not math.isinf(self.cost(classifier)):
                 yield classifier
 
-    def queries_containing(self, properties: PropertySet) -> List[Query]:
-        """Queries that are supersets of ``properties`` (candidate beneficiaries)."""
+    def queries_containing(self, properties: PropertySet) -> Sequence[Query]:
+        """Queries that are supersets of ``properties`` (candidate beneficiaries).
+
+        Results are memoized per classifier: the coverage engine calls this
+        on every add/remove/rollback, and the classifier→query index turns
+        those calls into dictionary lookups after the first one.  The
+        returned tuple is shared — iterate it, do not mutate.
+        """
+        cached = self._containing_cache.get(properties)
+        if cached is not None:
+            return cached
         if self._property_index is None:
             index: Dict[str, List[Query]] = {}
             for query in self.queries:
@@ -169,7 +190,48 @@ class ClassifierWorkload:
                     index.setdefault(prop, []).append(query)
             self._property_index = index
         rarest = min(properties, key=lambda p: len(self._property_index.get(p, [])))
-        return [q for q in self._property_index.get(rarest, []) if properties <= q]
+        result = tuple(q for q in self._property_index.get(rarest, []) if properties <= q)
+        self._containing_cache[properties] = result
+        return result
+
+    def _classifier_index_map(self) -> Dict[str, List[Classifier]]:
+        """The lazily built property→classifier inverted index (shared)."""
+        if self._classifier_index is None:
+            index: Dict[str, List[Classifier]] = {}
+            for classifier in self.relevant_classifiers():
+                for p in classifier:
+                    index.setdefault(p, []).append(classifier)
+            self._classifier_index = index
+        return self._classifier_index
+
+    def classifiers_containing_property(self, prop: str) -> List[Classifier]:
+        """Relevant classifiers testing ``prop`` (inverted property→classifier index)."""
+        return list(self._classifier_index_map().get(prop, []))
+
+    def subset_classifiers(self, query: Query, pool: Iterable[Classifier]) -> List[Classifier]:
+        """Members of ``pool`` that are subsets of ``query``.
+
+        For large pools this walks the property→classifier index over the
+        query's properties (every subset classifier tests at least one of
+        them) instead of scanning the whole pool; small pools — e.g. the
+        current selection of a tracker — are scanned directly without
+        forcing the index to exist.
+        """
+        pool_set = pool if isinstance(pool, (set, frozenset)) else set(pool)
+        if len(pool_set) > 64:
+            index = self._classifier_index_map()
+            candidate_lists = [index.get(p, []) for p in query]
+            if sum(len(lst) for lst in candidate_lists) < len(pool_set):
+                seen: set = set()
+                result: List[Classifier] = []
+                for lst in candidate_lists:
+                    for classifier in lst:
+                        if classifier not in seen:
+                            seen.add(classifier)
+                            if classifier in pool_set and classifier <= query:
+                                result.append(classifier)
+                return result
+        return [c for c in pool_set if c <= query]
 
     def length_histogram(self) -> Counter:
         """Counter of query lengths."""

@@ -104,11 +104,14 @@ def solve_shared_cost_bcc(
     ]
 
     def gain_of(addition) -> float:
-        probe = CoverageTracker(instance)
-        probe.add_all(selection)
-        before = probe.utility
-        probe.add_all(addition)
-        return probe.utility - before
+        # Trial additions run against the live tracker under a checkpoint
+        # and roll back — no per-candidate tracker rebuild.
+        before = tracker.utility
+        tracker.checkpoint()
+        tracker.add_all(addition)
+        gain = tracker.utility - before
+        tracker.rollback()
+        return gain
 
     for _ in range(max_steps):
         remaining = instance.budget - spent

@@ -16,6 +16,7 @@ import heapq
 import math
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.core.coverage import CoverageTracker
 from repro.core.model import Classifier, ClassifierWorkload, Query
 from repro.mc3.errors import InfeasibleCoverError
 
@@ -67,34 +68,6 @@ def cheapest_residual_cover(
     return spent, frozenset(chosen)
 
 
-class _ResidualState:
-    """Tracks selected classifiers and per-query covered properties."""
-
-    def __init__(self, workload: ClassifierWorkload, targets: List[Query]) -> None:
-        self.workload = workload
-        self.targets = targets
-        self.selected: Set[Classifier] = set()
-        self.covered_props: Dict[Query, Set[str]] = {q: set() for q in targets}
-        self._by_prop: Dict[str, List[Query]] = {}
-        for query in targets:
-            for prop in query:
-                self._by_prop.setdefault(prop, []).append(query)
-
-    def is_covered(self, query: Query) -> bool:
-        return self.covered_props[query] == set(query)
-
-    def add(self, classifier: Classifier) -> None:
-        if classifier in self.selected:
-            return
-        self.selected.add(classifier)
-        rarest = min(
-            classifier, key=lambda p: len(self._by_prop.get(p, ())), default=None
-        )
-        for query in self._by_prop.get(rarest, ()):
-            if classifier <= query:
-                self.covered_props[query] |= classifier
-
-
 def solve_mc3_greedy(
     workload: ClassifierWorkload,
     queries: Optional[Iterable[Query]] = None,
@@ -111,16 +84,17 @@ def solve_mc3_greedy(
     targets = list(queries) if queries is not None else list(workload.queries)
     available_set = None if available is None else set(available)
 
+    # The shared coverage engine supplies per-query covered-property state;
+    # target coverage and residual missing sets come from its indexes.
+    state = CoverageTracker(workload)
+    state.add_all(preselected)
+
     def cost(classifier: Classifier) -> float:
-        if classifier in preselected or classifier in state.selected:
+        if classifier in preselected or state.is_selected(classifier):
             return 0.0
         if available_set is not None and classifier not in available_set:
             return math.inf
         return workload.cost(classifier)
-
-    state = _ResidualState(workload, targets)
-    for classifier in preselected:
-        state.add(classifier)
 
     def candidates_for(query: Query) -> List[Tuple[Classifier, float]]:
         from repro.core.model import powerset_classifiers
@@ -132,12 +106,15 @@ def solve_mc3_greedy(
                 result.append((classifier, c))
         return result
 
+    def covered_props(query: Query) -> Set[str]:
+        return set(query) - set(state.missing_properties(query))
+
     heap: List[Tuple[float, int, Query]] = []
     for index, query in enumerate(targets):
-        if state.is_covered(query):
+        if state.is_query_covered(query):
             continue
         found = cheapest_residual_cover(
-            query, candidates_for(query), state.covered_props[query]
+            query, candidates_for(query), covered_props(query)
         )
         if found is None:
             raise InfeasibleCoverError(f"query {sorted(query)} has no finite-cost cover")
@@ -146,10 +123,10 @@ def solve_mc3_greedy(
     chosen: Set[Classifier] = set()
     while heap:
         cached_cost, index, query = heapq.heappop(heap)
-        if state.is_covered(query):
+        if state.is_query_covered(query):
             continue
         found = cheapest_residual_cover(
-            query, candidates_for(query), state.covered_props[query]
+            query, candidates_for(query), covered_props(query)
         )
         if found is None:
             raise InfeasibleCoverError(f"query {sorted(query)} has no finite-cost cover")
