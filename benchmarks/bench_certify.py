@@ -1,0 +1,179 @@
+"""Certification-overhead benchmark: ``solve_bcc`` with and without
+``certify=True``.
+
+Runs ``solve_bcc`` end-to-end on the BENCH_coverage synthetic workloads
+twice per seed — plain and with certificate emission — asserts the two
+arms select identical solutions (certification must never change the
+answer), and records both wall-clocks plus the relative overhead to
+``BENCH_certify.json`` next to this file.  The acceptance target is a
+certification overhead of at most 10% of solve time.
+
+Measurement choices mirror ``bench_coverage_engine.py``: process CPU
+seconds with the garbage collector disabled, arms interleaved within
+every repeat, minimum over repeats reported.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_certify.py [--quick]
+
+or through pytest (``pytest benchmarks/bench_certify.py``), where the
+TINY scale maps to the quick spec.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.algorithms.bcc import solve_bcc
+from repro.datasets.synthetic import generate_synthetic
+from repro.verify.certificate import SolutionCertificate
+
+RESULT_PATH = Path(__file__).parent / "BENCH_certify.json"
+
+QUICK_SPEC = {
+    "n_queries": 300,
+    "n_properties": 240,
+    "budget": 600.0,
+    "seeds": [0, 1],
+    "repeats": 2,
+}
+MEDIUM_SPEC = {
+    "n_queries": 1500,
+    "n_properties": 950,
+    "budget": 2500.0,
+    "seeds": [0, 1, 2],
+    "repeats": 4,
+}
+
+#: The acceptance ceiling: certification may add at most this fraction.
+OVERHEAD_CEILING = 0.10
+
+
+def _make_instance(spec: dict, seed: int):
+    return generate_synthetic(
+        n_queries=spec["n_queries"],
+        n_properties=spec["n_properties"],
+        budget=spec["budget"],
+        seed=seed,
+    )
+
+
+def _single_run(spec: dict, seed: int, certify: bool) -> dict:
+    """One end-to-end ``solve_bcc`` run, fresh instance per run so the
+    workload's memoized indexes cannot leak warm-cache time across arms."""
+    instance = _make_instance(spec, seed)
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.process_time()
+        solution = solve_bcc(instance, certify=certify)
+        elapsed = time.process_time() - started
+    finally:
+        gc.enable()
+    if certify:
+        assert isinstance(solution.meta["certificate"], SolutionCertificate)
+    return {
+        "seed": seed,
+        "utility": solution.utility,
+        "cost": solution.cost,
+        "classifiers": len(solution.classifiers),
+        "seconds": elapsed,
+    }
+
+
+def _run_seed(spec: dict, seed: int) -> tuple:
+    """Both arms on one seed, interleaved, min-over-repeats per arm."""
+    plain = None
+    certified = None
+    for _ in range(spec["repeats"]):
+        run_plain = _single_run(spec, seed, certify=False)
+        run_certified = _single_run(spec, seed, certify=True)
+        if plain is None or run_plain["seconds"] < plain["seconds"]:
+            plain = run_plain
+        if certified is None or run_certified["seconds"] < certified["seconds"]:
+            certified = run_certified
+    return plain, certified
+
+
+def run_bench(spec: dict) -> dict:
+    """Both arms on every seed; solutions must match exactly per seed."""
+    plain_runs, certified_runs = [], []
+    for seed in spec["seeds"]:
+        plain, certified = _run_seed(spec, seed)
+        plain_runs.append(plain)
+        certified_runs.append(certified)
+        assert plain["utility"] == certified["utility"], (
+            f"seed {seed}: certification changed the utility "
+            f"({plain['utility']} != {certified['utility']})"
+        )
+        assert plain["cost"] == certified["cost"], (
+            f"seed {seed}: certification changed the cost"
+        )
+    plain_total = sum(r["seconds"] for r in plain_runs)
+    certified_total = sum(r["seconds"] for r in certified_runs)
+    overhead = (
+        (certified_total - plain_total) / plain_total if plain_total > 0 else 0.0
+    )
+    return {
+        "workload": {k: spec[k] for k in ("n_queries", "n_properties", "budget")},
+        "seeds": list(spec["seeds"]),
+        "repeats": spec["repeats"],
+        "timer": "process_time, gc disabled (CPU seconds, min over repeats)",
+        "plain": plain_runs,
+        "certified": certified_runs,
+        "plain_total_sec": plain_total,
+        "certified_total_sec": certified_total,
+        "overhead_fraction": overhead,
+        "overhead_ceiling": OVERHEAD_CEILING,
+        "identical_solutions": True,
+    }
+
+
+def write_result(result: dict, path: Path = RESULT_PATH) -> None:
+    path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+
+def test_certify_overhead(benchmark, scale):
+    """Pytest entry: quick spec at tiny scale, medium otherwise."""
+    from conftest import run_once
+
+    spec = QUICK_SPEC if scale.name == "tiny" else MEDIUM_SPEC
+    result = run_once(benchmark, run_bench, spec=spec)
+    assert result["identical_solutions"]
+    assert result["overhead_fraction"] <= OVERHEAD_CEILING
+    write_result(result)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small workload (CI smoke mode)"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=RESULT_PATH, help="result JSON path"
+    )
+    args = parser.parse_args(argv)
+    spec = QUICK_SPEC if args.quick else MEDIUM_SPEC
+    result = run_bench(spec)
+    write_result(result, args.out)
+    print(
+        f"solve_bcc on {spec['n_queries']}q/{spec['n_properties']}p x "
+        f"{len(spec['seeds'])} seeds (min of {spec['repeats']}): "
+        f"plain {result['plain_total_sec']:.2f}s -> "
+        f"certify=True {result['certified_total_sec']:.2f}s "
+        f"({result['overhead_fraction'] * 100:.2f}% overhead, "
+        f"ceiling {OVERHEAD_CEILING * 100:.0f}%), solutions identical"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

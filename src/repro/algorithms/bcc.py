@@ -338,8 +338,19 @@ def _swap_polish(
     return current
 
 
-def solve_bcc(instance: BCCInstance, config: Optional[AbccConfig] = None) -> Solution:
-    """Run ``A^BCC`` on ``instance`` and return an evaluated solution."""
+def solve_bcc(
+    instance: BCCInstance,
+    config: Optional[AbccConfig] = None,
+    certify: bool = False,
+) -> Solution:
+    """Run ``A^BCC`` on ``instance`` and return an evaluated solution.
+
+    With ``certify``, the result is independently verified against the
+    instance (coverage/cost/utility re-derived from first principles,
+    budget feasibility checked) and the witness certificate is recorded in
+    ``solution.meta["certificate"]``; any disagreement raises a typed
+    :class:`~repro.core.errors.CertificateError`.
+    """
     config = config or AbccConfig()
     started = time.perf_counter()
 
@@ -467,4 +478,8 @@ def solve_bcc(instance: BCCInstance, config: Optional[AbccConfig] = None) -> Sol
             },
         },
     )
+    if certify:
+        from repro.verify.certificate import attach_certificate
+
+        attach_certificate(instance, solution, budget=instance.budget)
     return solution

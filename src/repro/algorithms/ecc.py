@@ -124,8 +124,12 @@ def _compress(instance: ECCInstance, selection: FrozenSet[Classifier]) -> Frozen
     return compressed
 
 
-def solve_ecc(instance: ECCInstance) -> Solution:
-    """Run ``A^ECC`` and return the evaluated best-ratio solution."""
+def solve_ecc(instance: ECCInstance, certify: bool = False) -> Solution:
+    """Run ``A^ECC`` and return the evaluated best-ratio solution.
+
+    With ``certify``, the result is verified from first principles and the
+    witness certificate lands in ``solution.meta["certificate"]``.
+    """
     arms: List[Tuple[str, Optional[FrozenSet[Classifier]]]] = [
         ("graph-exact", _graph_arm(instance)),
         ("hypergraph-peeling", _hypergraph_arm(instance)),
@@ -145,5 +149,9 @@ def solve_ecc(instance: ECCInstance) -> Solution:
             if best is None or candidate.ratio > best.ratio:
                 best = candidate
     if best is None:
-        return evaluate(instance, [], meta={"algorithm": "A^ECC", "arm": "empty"})
+        best = evaluate(instance, [], meta={"algorithm": "A^ECC", "arm": "empty"})
+    if certify:
+        from repro.verify.certificate import attach_certificate
+
+        attach_certificate(instance, best)
     return best

@@ -168,8 +168,16 @@ def _attempt(
     )
 
 
-def solve_gmc3(instance: GMC3Instance, config: Optional[Gmc3Config] = None) -> Solution:
+def solve_gmc3(
+    instance: GMC3Instance,
+    config: Optional[Gmc3Config] = None,
+    certify: bool = False,
+) -> Solution:
     """Run ``A^GMC3`` and return the cheapest target-reaching solution found.
+
+    With ``certify``, the result is verified from first principles —
+    including that the certified utility actually reaches the target —
+    and the witness certificate lands in ``solution.meta["certificate"]``.
 
     Raises:
         InfeasibleTargetError: if the target exceeds the total utility of
@@ -223,4 +231,8 @@ def solve_gmc3(instance: GMC3Instance, config: Optional[Gmc3Config] = None) -> S
             "reached_target": True,
         },
     )
+    if certify:
+        from repro.verify.certificate import attach_certificate
+
+        attach_certificate(instance, solution, target=instance.target)
     return solution

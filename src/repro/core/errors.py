@@ -17,3 +17,44 @@ class BudgetExceededError(ReproError):
 
 class InfeasibleTargetError(ReproError):
     """A GMC3 utility target exceeds the total achievable utility."""
+
+
+class CertificateError(ReproError):
+    """A solution failed independent verification (``repro.verify``).
+
+    Base class of every typed certificate failure; CI treats any of these
+    as a build-breaking defect in the producing solver (or in the
+    certificate itself, when one was tampered with).
+    """
+
+
+class CoverageCertificateError(CertificateError):
+    """A solution's claimed covered-query set disagrees with first-principles coverage."""
+
+
+class CostCertificateError(CertificateError):
+    """A solution's claimed cost disagrees with the itemised re-computation."""
+
+
+class UtilityCertificateError(CertificateError):
+    """A solution's claimed utility disagrees with the re-derived covered utility."""
+
+
+class WitnessCertificateError(CertificateError):
+    """A certificate witness is not a valid ``T ⊆ S`` with ``⋃T = q``."""
+
+
+class BudgetCertificateError(CertificateError, BudgetExceededError):
+    """A certified solution exceeds the instance budget."""
+
+
+class TargetCertificateError(CertificateError):
+    """A certified GMC3 solution falls short of the utility target."""
+
+
+class DifferentialError(CertificateError):
+    """Two solver arms violated a cross-solver invariant (dominance, reduction match)."""
+
+
+class MetamorphicError(CertificateError):
+    """A semantics-preserving instance transformation changed a certified answer."""

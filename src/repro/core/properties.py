@@ -44,7 +44,9 @@ def from_phrase(phrase: str) -> PropertySet:
 
 def format_props(properties: PropertySet, classifier: bool = False) -> str:
     """Render a property set in the paper's notation (sorted for determinism)."""
-    joined = "".join(sorted(properties)) if all(len(p) == 1 for p in properties) else " ".join(sorted(properties))
+    names = sorted(str(p) for p in properties)
+    letters = all(isinstance(p, str) and len(p) == 1 for p in properties)
+    joined = "".join(names) if letters else " ".join(names)
     return joined.upper() if classifier else joined
 
 

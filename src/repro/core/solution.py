@@ -49,7 +49,9 @@ class Solution:
             f"cost: {self.cost:g}  utility: {self.utility:g}  "
             f"covered queries: {len(self.covered)}"
         ]
-        shown = sorted(self.classifiers, key=sorted)[:max_items]
+        shown = sorted(
+            self.classifiers, key=lambda c: format_props(c, classifier=True)
+        )[:max_items]
         for classifier in shown:
             lines.append(f"  + {format_props(classifier, classifier=True)}")
         hidden = len(self.classifiers) - len(shown)

@@ -105,10 +105,47 @@ class PartialCoverModel:
         return sum(self.instance.cost(c) for c in set(selection))
 
 
+def certify_partial_cover(
+    model: PartialCoverModel, selection: Iterable[Classifier]
+) -> float:
+    """First-principles check of a partial-cover selection; returns its
+    credited utility.
+
+    Checks budget feasibility under the (plain, additive) cost model and
+    the credit invariant ``phi(f) in [0, 1]`` with fully covered queries
+    earning full utility — so the credited total always dominates the
+    base-model utility of the same selection.
+
+    Raises:
+        BudgetCertificateError: the selection exceeds the budget.
+        UtilityCertificateError: the credited utility falls below the
+            base-model (step-credit) utility of the same selection.
+    """
+    from repro.core.errors import BudgetCertificateError, UtilityCertificateError
+    from repro.core.solution import evaluate
+
+    chosen = list(selection)
+    cost = model.cost_of(chosen)
+    budget = model.instance.budget
+    if cost > budget * (1.0 + 1e-9) + 1e-9:
+        raise BudgetCertificateError(
+            f"partial-cover cost {cost} exceeds budget {budget}"
+        )
+    credited = model.utility_of(chosen)
+    base = evaluate(model.instance, chosen).utility
+    if credited < base - 1e-9 * max(1.0, base):
+        raise UtilityCertificateError(
+            f"credited utility {credited} falls below the base-model utility "
+            f"{base} of the same selection (phi(1) = 1 forbids this)"
+        )
+    return credited
+
+
 def solve_partial_bcc(
     model: PartialCoverModel,
     warm_start: bool = True,
     max_steps: int = 10_000,
+    certify: bool = False,
 ) -> FrozenSet[Classifier]:
     """Credit-aware greedy for the partial-cover model.
 
@@ -117,6 +154,9 @@ def solve_partial_bcc(
     and keeps whichever scores better under the model: the warm start is
     exactly right under a step credit, but under partial credit it can
     lock the budget into all-or-nothing picks a cold greedy avoids.
+
+    With ``certify``, the returned selection is re-checked against the
+    credited objective via :func:`certify_partial_cover`.
     """
     instance = model.instance
     starts: List[Set[Classifier]] = [set()]
@@ -130,6 +170,8 @@ def solve_partial_bcc(
         if utility > best_utility:
             best_utility = utility
             best_selection = selection
+    if certify:
+        certify_partial_cover(model, best_selection)
     return frozenset(best_selection)
 
 

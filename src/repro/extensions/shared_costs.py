@@ -82,14 +82,48 @@ class SharedCostModel:
         return tracker.utility
 
 
+def certify_shared_cost(
+    model: SharedCostModel, selection: Iterable[Classifier]
+) -> float:
+    """First-principles check of a shared-cost selection; returns its cost.
+
+    Recomputes the subadditive cost from the model definition (one-time
+    property costs plus marginal classifier costs — no solver state) and
+    checks budget feasibility and finiteness.
+
+    Raises:
+        BudgetCertificateError: the selection exceeds the budget.
+        CostCertificateError: an infinite-cost classifier was selected.
+    """
+    from repro.core.errors import BudgetCertificateError, CostCertificateError
+
+    chosen = set(selection)
+    for classifier in chosen:
+        if math.isinf(model.instance.cost(classifier)):
+            raise CostCertificateError(
+                f"shared-cost selection includes the infinite-cost classifier "
+                f"{sorted(map(str, classifier))}"
+            )
+    total = model.cost_of(chosen)
+    budget = model.instance.budget
+    if total > budget * (1.0 + 1e-9) + 1e-9:
+        raise BudgetCertificateError(
+            f"shared cost {total} exceeds budget {budget}"
+        )
+    return total
+
+
 def solve_shared_cost_bcc(
-    model: SharedCostModel, max_steps: int = 10_000
+    model: SharedCostModel, max_steps: int = 10_000, certify: bool = False
 ) -> FrozenSet[Classifier]:
     """Greedy for the shared-cost model: utility per *marginal* cost.
 
     Pair-aware: also considers buying a whole 2-cover in one step (a
     fresh pair has zero single-classifier gain), mirroring the greedy
     fill of the base solver.
+
+    With ``certify``, the returned selection is re-checked against the
+    shared-cost objective via :func:`certify_shared_cost`.
     """
     instance = model.instance
     tracker = CoverageTracker(instance)
@@ -160,4 +194,6 @@ def solve_shared_cost_bcc(
             tracker.add(classifier)
             paid |= classifier
         spent += best_cost
+    if certify:
+        certify_shared_cost(model, selection)
     return frozenset(selection)

@@ -1,0 +1,115 @@
+"""``python -m repro.verify`` — the differential corpus sweep as a command.
+
+Runs, in order: the harness self-test (a planted dishonest solver must be
+flagged on every instance), the differential sweep of all registered arms
+over the seeded corpus, and the metamorphic layer on a corpus sample.
+Exits non-zero on any finding, so CI can gate on it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.core.errors import CertificateError
+from repro.verify.corpus import corpus
+from repro.verify.differential import run_differential, self_test
+from repro.verify.metamorphic import run_metamorphic
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.verify",
+        description="Differential verification sweep over the seeded corpus.",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=6, help="seeds per corpus shape (default 6)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="2 seeds per shape, 2 metamorphic cases"
+    )
+    parser.add_argument(
+        "--skip-self-test", action="store_true", help="skip the planted-bug self-test"
+    )
+    parser.add_argument(
+        "--skip-metamorphic", action="store_true", help="skip the metamorphic layer"
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write a machine-readable report"
+    )
+    args = parser.parse_args(argv)
+    n_seeds = 2 if args.quick else args.seeds
+
+    # 1. the harness must catch a planted bug before its pass means anything
+    if not args.skip_self_test:
+        try:
+            planted = self_test()
+        except CertificateError as exc:
+            print(f"SELF-TEST FAILED: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"self-test: dishonest solver flagged on all "
+            f"{planted.cases} instances ({len(planted.findings)} findings)"
+        )
+
+    # 2. the sweep proper
+    cases = corpus(seeds=range(n_seeds))
+    report = run_differential(cases)
+    print(
+        f"differential: {report.cases} instances, "
+        f"{report.solutions_certified} solutions certified, "
+        f"{report.checks_run} cross-checks, "
+        f"{report.elapsed_sec:.1f}s"
+    )
+    for finding in report.findings:
+        print(f"  FAIL {finding}", file=sys.stderr)
+
+    # 3. metamorphic layer on the oracle-sized sample
+    metamorphic_failures = []
+    if not args.skip_metamorphic:
+        sample = [c for c in cases if c.shape in ("paper", "l1-knapsack", "l2-dks")]
+        if args.quick:
+            sample = sample[:2]
+        ran = 0
+        for case in sample:
+            try:
+                ran += len(run_metamorphic(case.instance))
+            except CertificateError as exc:
+                metamorphic_failures.append(f"{case.name}: {exc}")
+        print(f"metamorphic: {len(sample)} instances, {ran} relations checked")
+        for failure in metamorphic_failures:
+            print(f"  FAIL {failure}", file=sys.stderr)
+
+    if args.json:
+        payload = {
+            "cases": report.cases,
+            "solutions_certified": report.solutions_certified,
+            "checks_run": report.checks_run,
+            "elapsed_sec": report.elapsed_sec,
+            "findings": [
+                {
+                    "case": f.case,
+                    "arm": f.arm,
+                    "check": f.check,
+                    "message": f.message,
+                }
+                for f in report.findings
+            ],
+            "metamorphic_failures": metamorphic_failures,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+
+    if report.findings or metamorphic_failures:
+        total = len(report.findings) + len(metamorphic_failures)
+        print(f"VERIFICATION FAILED: {total} finding(s)", file=sys.stderr)
+        return 1
+    print("verification OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

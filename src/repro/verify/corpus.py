@@ -1,0 +1,121 @@
+"""The seeded instance corpus the differential harness sweeps.
+
+Small, shape-diverse BCC instances: pure ``l = 1`` workloads (the Knapsack
+reduction regime), ``l <= 2`` (the DkS regime), mixed lengths up to 4,
+zero-cost-heavy and infinite-cost-heavy cost maps, and the paper's own
+Figure 1 running example.  Every instance is deterministic in its seed and
+small enough for the brute-force oracle, so cross-solver invariants are
+checkable exactly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set
+
+from repro.core.model import BCCInstance, powerset_classifiers
+
+
+@dataclass(frozen=True)
+class CorpusCase:
+    """One corpus entry: a named, seeded instance plus its shape tag."""
+
+    name: str
+    shape: str
+    seed: int
+    instance: BCCInstance
+
+
+def _random_instance(
+    rng: random.Random,
+    n_properties: int,
+    n_queries: int,
+    min_length: int = 1,
+    max_length: int = 3,
+    zero_cost_rate: float = 0.1,
+    inf_cost_rate: float = 0.0,
+    max_cost: int = 9,
+    budget_fraction: float = 0.4,
+) -> BCCInstance:
+    properties = [f"p{i}" for i in range(n_properties)]
+    queries: Set[FrozenSet[str]] = set()
+    attempts = 0
+    while len(queries) < n_queries and attempts < 50 * n_queries:
+        attempts += 1
+        length = rng.randint(min_length, max_length)
+        queries.add(frozenset(rng.sample(properties, length)))
+    ordered = sorted(queries, key=sorted)
+    utilities = {q: float(rng.randint(1, 10)) for q in ordered}
+    classifiers: Set[FrozenSet[str]] = set()
+    for query in ordered:
+        classifiers.update(powerset_classifiers(query))
+    costs: Dict[FrozenSet[str], float] = {}
+    finite_total = 0.0
+    for classifier in sorted(classifiers, key=sorted):
+        roll = rng.random()
+        if roll < inf_cost_rate and len(classifier) > 1:
+            # Only multi-property classifiers go infinite, so every query
+            # keeps a finite cover through its singletons.
+            costs[classifier] = math.inf
+            continue
+        if roll < inf_cost_rate + zero_cost_rate:
+            costs[classifier] = 0.0
+        else:
+            costs[classifier] = float(rng.randint(1, max_cost))
+        finite_total += costs[classifier]
+    budget = max(1.0, round(finite_total * budget_fraction))
+    return BCCInstance(ordered, utilities, costs, budget=budget)
+
+
+def _figure1() -> BCCInstance:
+    from repro.core.properties import from_letters as fs
+
+    queries = [fs("xyz"), fs("xz"), fs("xy")]
+    utilities = {fs("xyz"): 8.0, fs("xz"): 1.0, fs("xy"): 2.0}
+    costs = {
+        fs("x"): 5.0,
+        fs("y"): 3.0,
+        fs("z"): 3.0,
+        fs("xyz"): 3.0,
+        fs("xz"): 4.0,
+        fs("yz"): 0.0,
+        fs("xy"): math.inf,
+    }
+    return BCCInstance(queries, utilities, costs, budget=4.0)
+
+
+#: shape tag -> generator kwargs; every seed instantiates every shape.
+_SHAPES: Dict[str, dict] = {
+    "l1-knapsack": dict(n_properties=8, n_queries=7, min_length=1, max_length=1),
+    "l2-dks": dict(n_properties=6, n_queries=6, min_length=1, max_length=2),
+    "mixed-l3": dict(n_properties=6, n_queries=6, max_length=3),
+    "zero-heavy": dict(n_properties=6, n_queries=6, max_length=3, zero_cost_rate=0.4),
+    "inf-heavy": dict(n_properties=6, n_queries=5, max_length=3, inf_cost_rate=0.35),
+    "deep-l4": dict(n_properties=7, n_queries=4, min_length=3, max_length=4),
+}
+
+
+def corpus_cases(
+    seeds: Sequence[int] = range(6), shapes: Optional[Sequence[str]] = None
+) -> Iterator[CorpusCase]:
+    """Yield the corpus: the Figure 1 example plus every (shape, seed) pair."""
+    yield CorpusCase(name="figure-1", shape="paper", seed=0, instance=_figure1())
+    selected = list(shapes) if shapes is not None else list(_SHAPES)
+    for shape in selected:
+        if shape not in _SHAPES:
+            raise KeyError(f"unknown corpus shape {shape!r}; known: {sorted(_SHAPES)}")
+        shape_salt = zlib.crc32(shape.encode("utf-8"))
+        for seed in seeds:
+            rng = random.Random(shape_salt * 100_003 + seed)
+            instance = _random_instance(rng, **_SHAPES[shape])
+            yield CorpusCase(
+                name=f"{shape}-s{seed}", shape=shape, seed=seed, instance=instance
+            )
+
+
+def corpus(seeds: Sequence[int] = range(6)) -> List[CorpusCase]:
+    """The default corpus as a list (convenience for the CLI and tests)."""
+    return list(corpus_cases(seeds))

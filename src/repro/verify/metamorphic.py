@@ -1,0 +1,207 @@
+"""Metamorphic checks: semantics-preserving transforms must not move answers.
+
+Each check transforms an instance in a way with a provable effect on the
+*optimal* answer — budget growth never loses utility, scaling every
+utility by ``f`` scales the optimum by ``f``, renaming properties through
+an order-preserving bijection relabels the optimum verbatim, and merging
+duplicate raw query entries (summing utilities) is the identity on the
+canonical instance — then runs a solver on both sides and compares
+certified results.
+
+The default solver is the brute-force oracle, for which every relation is
+exact (its search order is fully deterministic and invariant under the
+transforms).  Heuristic solvers iterate hash-ordered sets, so renaming can
+legitimately change their tie-breaks; use the oracle for the invariance
+relations and plain certification for heuristics on transformed inputs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Tuple
+
+from repro.algorithms.brute_force import solve_bcc_exact
+from repro.core.errors import MetamorphicError
+from repro.core.model import BCCInstance, Query
+from repro.core.solution import Solution
+from repro.verify.certificate import verify_solution
+
+Solver = Callable[[BCCInstance], Solution]
+
+_TOL = 1e-9
+
+
+def merge_duplicate_queries(
+    entries: Iterable[Tuple[Query, float]]
+) -> Tuple[List[Query], Dict[Query, float]]:
+    """Canonicalize a raw (query, utility) stream: duplicates merge by summing.
+
+    The model rejects duplicate queries outright; real workload logs
+    contain them (the same filter requested twice is twice as useful).
+    This is the canonicalization layer generators and loaders share.
+    """
+    utilities: Dict[Query, float] = {}
+    for query, utility in entries:
+        utilities[query] = utilities.get(query, 0.0) + float(utility)
+    queries = sorted(utilities, key=sorted)
+    return queries, utilities
+
+
+def _certified(instance: BCCInstance, solver: Solver) -> Solution:
+    solution = solver(instance)
+    verify_solution(instance, solution, budget=instance.budget)
+    return solution
+
+
+def check_budget_monotonicity(
+    instance: BCCInstance,
+    solver: Solver = solve_bcc_exact,
+    factors: Tuple[float, ...] = (0.5, 1.0, 1.5),
+) -> None:
+    """Certified utility must be non-decreasing in the budget (oracle-exact)."""
+    previous = -math.inf
+    previous_budget = None
+    for factor in sorted(factors):
+        scaled = instance.with_budget(instance.budget * factor)
+        solution = _certified(scaled, solver)
+        if solution.utility < previous - _TOL:
+            raise MetamorphicError(
+                f"budget monotonicity violated: utility {previous} at budget "
+                f"{previous_budget} but {solution.utility} at larger budget "
+                f"{scaled.budget}"
+            )
+        previous, previous_budget = solution.utility, scaled.budget
+
+
+def check_utility_rescaling(
+    instance: BCCInstance, solver: Solver = solve_bcc_exact, factor: float = 2.0
+) -> None:
+    """Scaling every utility by ``factor`` scales the certified utility by ``factor``.
+
+    Powers of two keep the scaling bit-exact through float arithmetic, so
+    the comparison needs no slack beyond the usual tolerance.
+    """
+    base = _certified(instance, solver)
+    scaled_instance = BCCInstance(
+        instance.queries,
+        {q: instance.utility(q) * factor for q in instance.queries},
+        {c: instance.cost(c) for c in instance.relevant_classifiers()},
+        budget=instance.budget,
+        default_utility=instance.default_utility * factor,
+        default_cost=instance.default_cost,
+    )
+    scaled = _certified(scaled_instance, solver)
+    expected = base.utility * factor
+    if abs(scaled.utility - expected) > _TOL * max(1.0, abs(expected)):
+        raise MetamorphicError(
+            f"utility rescaling violated: base utility {base.utility} x {factor} "
+            f"= {expected}, but the scaled instance certified {scaled.utility}"
+        )
+
+
+def check_property_renaming(
+    instance: BCCInstance, solver: Solver = solve_bcc_exact
+) -> None:
+    """An order-preserving property bijection relabels the answer verbatim.
+
+    The rename maps the sorted property universe to zero-padded fresh
+    names, preserving lexicographic order, so every deterministic sort in
+    the solver sees the same structure; the certified utility, cost and
+    (mapped) classifier set must be identical.
+    """
+    ordered = sorted(instance.properties)
+    mapping = {p: f"r{i:04d}" for i, p in enumerate(ordered)}
+
+    def rename(props: Query) -> Query:
+        return frozenset(mapping[p] for p in props)
+
+    base = _certified(instance, solver)
+    renamed_instance = BCCInstance(
+        [rename(q) for q in instance.queries],
+        {rename(q): instance.utility(q) for q in instance.queries},
+        {rename(c): instance.cost(c) for c in instance.relevant_classifiers()},
+        budget=instance.budget,
+        default_utility=instance.default_utility,
+        default_cost=instance.default_cost,
+    )
+    renamed = _certified(renamed_instance, solver)
+    if abs(renamed.utility - base.utility) > _TOL or not _cost_close(
+        renamed.cost, base.cost
+    ):
+        raise MetamorphicError(
+            f"property renaming moved the answer: utility {base.utility} -> "
+            f"{renamed.utility}, cost {base.cost} -> {renamed.cost}"
+        )
+    if frozenset(rename(c) for c in base.classifiers) != renamed.classifiers:
+        raise MetamorphicError(
+            "property renaming changed the selected classifier set"
+        )
+
+
+def check_duplicate_merge(
+    instance: BCCInstance, solver: Solver = solve_bcc_exact
+) -> None:
+    """Splitting each query into duplicate half-utility entries and merging
+    them back is the identity on the instance and on the certified answer.
+
+    Halving a float and summing the halves is bit-exact, so the round-trip
+    admits no drift; the merge must also be insensitive to stream order.
+    """
+    raw: List[Tuple[Query, float]] = []
+    for query in instance.queries:
+        half = instance.utility(query) / 2.0
+        raw.append((query, half))
+        raw.append((query, half))
+    queries_fwd, utilities_fwd = merge_duplicate_queries(raw)
+    queries_rev, utilities_rev = merge_duplicate_queries(reversed(raw))
+    if queries_fwd != queries_rev or any(
+        abs(utilities_fwd[q] - utilities_rev[q]) > _TOL for q in queries_fwd
+    ):
+        raise MetamorphicError("duplicate merge is order-sensitive")
+    if set(queries_fwd) != set(instance.queries) or any(
+        utilities_fwd[q] != instance.utility(q) for q in queries_fwd
+    ):
+        raise MetamorphicError(
+            "merging the duplicated stream did not reproduce the instance"
+        )
+    merged = BCCInstance(
+        queries_fwd,
+        utilities_fwd,
+        {c: instance.cost(c) for c in instance.relevant_classifiers()},
+        budget=instance.budget,
+        default_utility=instance.default_utility,
+        default_cost=instance.default_cost,
+    )
+    merged_solution = _certified(merged, solver)
+    base_solution = _certified(instance, solver)
+    if abs(merged_solution.utility - base_solution.utility) > _TOL:
+        raise MetamorphicError(
+            f"duplicate-merge canonicalization moved the answer: "
+            f"{merged_solution.utility} != {base_solution.utility}"
+        )
+
+
+def _cost_close(a: float, b: float) -> bool:
+    if math.isinf(a) or math.isinf(b):
+        return a == b
+    return abs(a - b) <= _TOL * max(1.0, abs(a), abs(b))
+
+
+def run_metamorphic(
+    instance: BCCInstance, solver: Solver = solve_bcc_exact
+) -> List[str]:
+    """Run every applicable metamorphic check; return the names that ran.
+
+    Raises :class:`MetamorphicError` (or any certificate error from the
+    per-run verification) on the first violation.
+    """
+    ran = []
+    check_budget_monotonicity(instance, solver)
+    ran.append("budget-monotonicity")
+    check_utility_rescaling(instance, solver)
+    ran.append("utility-rescaling")
+    check_property_renaming(instance, solver)
+    ran.append("property-renaming")
+    check_duplicate_merge(instance, solver)
+    ran.append("duplicate-merge")
+    return ran

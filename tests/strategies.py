@@ -1,0 +1,118 @@
+"""Shared hypothesis strategies for valid problem instances.
+
+One home for instance generation: bounded query length, optional zero and
+infinite costs, and raw duplicate-query streams that canonicalize through
+:func:`repro.verify.metamorphic.merge_duplicate_queries`.  Used by
+``test_verify.py``, ``test_coverage_engine.py`` and ``test_schema_fuzz.py``
+instead of each hand-rolling its own generator.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import strategies as st
+
+from repro.core import BCCInstance, powerset_classifiers
+from repro.verify.metamorphic import merge_duplicate_queries
+
+_PROPERTY_ALPHABET = "abcdefgh"
+
+
+def property_names(max_size: int = 3) -> st.SearchStrategy:
+    """Short property names over a fixed alphabet."""
+    return st.text(alphabet=_PROPERTY_ALPHABET, min_size=1, max_size=max_size)
+
+
+def queries(max_length: int = 3) -> st.SearchStrategy:
+    """Non-empty property sets of bounded cardinality (valid queries)."""
+    return st.frozensets(property_names(), min_size=1, max_size=max_length)
+
+
+@st.composite
+def cost_maps(
+    draw,
+    query_list,
+    allow_zero: bool = True,
+    allow_inf: bool = True,
+    max_cost: float = 50.0,
+):
+    """Costs for a random subset of the relevant classifiers of ``query_list``.
+
+    Unlisted classifiers fall back to the instance default, matching how
+    analysts under-specify costs in practice.
+    """
+    costs = {}
+    for query in query_list:
+        for classifier in powerset_classifiers(query):
+            if not draw(st.booleans()):
+                continue
+            if allow_inf and draw(st.integers(0, 9)) == 0:
+                costs[classifier] = math.inf
+            elif allow_zero and draw(st.integers(0, 9)) == 0:
+                costs[classifier] = 0.0
+            else:
+                costs[classifier] = draw(
+                    st.floats(0.0, max_cost, allow_nan=False, allow_infinity=False)
+                )
+    return costs
+
+
+@st.composite
+def bcc_instances(
+    draw,
+    max_queries: int = 6,
+    max_length: int = 3,
+    allow_zero_cost: bool = True,
+    allow_inf_cost: bool = True,
+    max_cost: float = 50.0,
+    max_budget: float = 1000.0,
+):
+    """Valid :class:`BCCInstance` values: bounded ``l``, zero/inf costs.
+
+    Queries arrive as a raw duplicated stream and are canonicalized with
+    the shared merge helper, so the strategies exercise the same
+    duplicate-handling path production loaders use.
+    """
+    raw_queries = draw(st.lists(queries(max_length), min_size=1, max_size=2 * max_queries))
+    entries = [
+        (q, draw(st.floats(0.1, 100.0, allow_nan=False, allow_infinity=False)))
+        for q in raw_queries
+    ]
+    query_list, utilities = merge_duplicate_queries(entries)
+    query_list = query_list[:max_queries]
+    utilities = {q: utilities[q] for q in query_list}
+    costs = draw(
+        cost_maps(
+            query_list,
+            allow_zero=allow_zero_cost,
+            allow_inf=allow_inf_cost,
+            max_cost=max_cost,
+        )
+    )
+    budget = draw(st.floats(0.0, max_budget, allow_nan=False, allow_infinity=False))
+    return BCCInstance(query_list, utilities, costs, budget=budget)
+
+
+@st.composite
+def solvable_instances(
+    draw, max_queries: int = 6, max_length: int = 3, max_cost: int = 9
+):
+    """Small oracle-friendly instances: integer costs, no infinities,
+    budget a fraction of the total cost — the shape solver tests sweep."""
+    query_list = sorted(
+        draw(st.sets(queries(max_length), min_size=1, max_size=max_queries)),
+        key=sorted,
+    )
+    utilities = {
+        q: float(draw(st.integers(1, 10))) for q in query_list
+    }
+    costs = {}
+    total = 0.0
+    for query in query_list:
+        for classifier in powerset_classifiers(query):
+            costs[classifier] = float(draw(st.integers(0, max_cost)))
+            total += costs[classifier]
+    fraction = draw(st.floats(0.2, 0.8))
+    budget = max(1.0, round(total * fraction))
+    return BCCInstance(query_list, utilities, costs, budget=budget)

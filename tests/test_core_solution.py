@@ -1,15 +1,18 @@
 """Unit tests for repro.core.solution."""
 
+import dataclasses
 import math
 
 import pytest
 
 from repro.core import (
+    BCCInstance,
     BudgetExceededError,
     best_solution,
     check_budget,
     evaluate,
     from_letters as fs,
+    props,
 )
 
 
@@ -58,11 +61,22 @@ class TestRatio:
         assert solution.ratio == 0.0
 
     def test_zero_cost_with_utility_is_inf(self):
-        from repro.core import BCCInstance
-
         instance = BCCInstance([fs("x")], costs={fs("x"): 0.0}, budget=1.0)
         solution = evaluate(instance, [fs("x")])
         assert solution.ratio == math.inf
+
+    def test_infinite_cost_with_utility_is_zero(self, fig1_b4):
+        # XY covers query xy (utility 2) but costs inf: ratio 2/inf = 0,
+        # never NaN and never a ZeroDivisionError.
+        solution = evaluate(fig1_b4, [fs("xy")])
+        assert math.isinf(solution.cost)
+        assert solution.utility == 2.0
+        assert solution.ratio == 0.0
+
+    def test_infinite_cost_zero_utility_is_zero(self, fig1_b3):
+        solution = evaluate(fig1_b3, [fs("xy"), fs("yz")])  # nothing covered
+        assert math.isinf(solution.cost)
+        assert solution.ratio == 0.0
 
 
 class TestCheckBudget:
@@ -78,6 +92,49 @@ class TestCheckBudget:
         solution = evaluate(fig1_b3, [fs("xyz")])
         # cost exactly equals the budget
         check_budget(fig1_b3, solution)
+
+    def test_infinite_cost_exceeds_any_finite_budget(self, fig1_b4):
+        solution = evaluate(fig1_b4, [fs("xy")])
+        with pytest.raises(BudgetExceededError):
+            check_budget(fig1_b4, solution)
+
+    def test_slack_boundary(self, fig1_b3):
+        base = evaluate(fig1_b3, [fs("xyz")])  # cost 3.0 == budget
+        within = dataclasses.replace(base, cost=3.0 * (1.0 + 1e-9))
+        check_budget(fig1_b3, within)
+        beyond = dataclasses.replace(base, cost=3.0 + 1e-6)
+        with pytest.raises(BudgetExceededError):
+            check_budget(fig1_b3, beyond)
+
+    def test_error_message_names_both_numbers(self, fig1_b3):
+        solution = evaluate(fig1_b3, [fs("x")])
+        with pytest.raises(BudgetExceededError, match=r"cost 5.*budget 3"):
+            check_budget(fig1_b3, solution)
+
+
+class TestDescribe:
+    def test_sorted_by_formatted_name(self, fig1_b4):
+        solution = evaluate(fig1_b4, [fs("yz"), fs("xz")])
+        lines = solution.describe().splitlines()
+        assert lines[1:] == ["  + XZ", "  + YZ"]
+
+    def test_multi_word_properties_sort_by_rendered_form(self):
+        # Regression: describe used to sort by the raw property lists;
+        # it must sort by the same formatted names it prints.
+        wooden, table = props("wooden"), props("table")
+        query = props("wooden", "table")
+        instance = BCCInstance(
+            [query], costs={wooden: 1.0, table: 1.0, query: 3.0}, budget=3.0
+        )
+        solution = evaluate(instance, [wooden, table])
+        lines = solution.describe().splitlines()
+        assert lines[1:] == ["  + TABLE", "  + WOODEN"]
+
+    def test_truncation(self, fig1_b11):
+        solution = evaluate(fig1_b11, [fs("yz"), fs("x"), fs("y"), fs("z")])
+        text = solution.describe(max_items=1)
+        assert "... and 3 more" in text
+        assert text.splitlines()[1] == "  + X"
 
 
 class TestBestSolution:

@@ -17,7 +17,7 @@ from hypothesis import strategies as st
 from repro.algorithms.bcc import _cover_greedy_pick
 from repro.algorithms.residual import ResidualProblem
 from repro.core import BCCInstance, CoverageTracker, from_letters as fs
-from tests.conftest import random_instance
+from tests.strategies import solvable_instances
 
 
 def _snapshot(tracker):
@@ -33,10 +33,9 @@ def _snapshot(tracker):
 
 
 class TestCheckpointRollback:
-    @given(seed=st.integers(0, 10_000))
+    @given(instance=solvable_instances(max_queries=8))
     @settings(max_examples=60, deadline=None)
-    def test_round_trip_bit_identical(self, seed):
-        instance = random_instance(seed, n_properties=6, n_queries=8)
+    def test_round_trip_bit_identical(self, instance):
         classifiers = sorted(instance.relevant_classifiers(), key=sorted)
         split = len(classifiers) // 2
         tracker = CoverageTracker(instance)
@@ -87,14 +86,13 @@ class TestCheckpointRollback:
 
 
 class TestRemoveAndReset:
-    @given(seed=st.integers(0, 10_000))
+    @given(instance=solvable_instances(max_queries=8), pick=st.integers(0, 10_000))
     @settings(max_examples=60, deadline=None)
-    def test_remove_matches_rebuild(self, seed):
-        instance = random_instance(seed, n_properties=6, n_queries=8)
+    def test_remove_matches_rebuild(self, instance, pick):
         classifiers = sorted(instance.relevant_classifiers(), key=sorted)[:8]
         tracker = CoverageTracker(instance)
         tracker.add_all(classifiers)
-        removed = classifiers[seed % len(classifiers)]
+        removed = classifiers[pick % len(classifiers)]
         tracker.remove(removed)
         rebuilt = CoverageTracker(instance)
         rebuilt.add_all(c for c in classifiers if c != removed)

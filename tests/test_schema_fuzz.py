@@ -1,37 +1,15 @@
-"""Property-based fuzzing of the dataset serialization round-trip."""
+"""Property-based fuzzing of the dataset serialization round-trip.
 
-import math
+Instance generation lives in the shared :mod:`tests.strategies` module.
+"""
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
-from repro.core import BCCInstance, powerset_classifiers
 from repro.datasets import instance_from_json, instance_to_json
-
-_props = st.text(alphabet="abcdefgh", min_size=1, max_size=3)
-_query = st.frozensets(_props, min_size=1, max_size=3)
+from tests.strategies import bcc_instances
 
 
-@st.composite
-def instances(draw):
-    queries = sorted(draw(st.sets(_query, min_size=1, max_size=6)), key=sorted)
-    utilities = {
-        q: draw(st.floats(0.1, 100.0, allow_nan=False)) for q in queries
-    }
-    costs = {}
-    for q in queries:
-        for c in powerset_classifiers(q):
-            if draw(st.booleans()):
-                costs[c] = (
-                    math.inf
-                    if draw(st.integers(0, 9)) == 0
-                    else draw(st.floats(0.0, 50.0, allow_nan=False))
-                )
-    budget = draw(st.floats(0.0, 1000.0, allow_nan=False))
-    return BCCInstance(queries, utilities, costs, budget=budget)
-
-
-@given(instance=instances())
+@given(instance=bcc_instances())
 @settings(max_examples=60, deadline=None)
 def test_round_trip_exact(instance):
     rebuilt = instance_from_json(instance_to_json(instance))
@@ -44,7 +22,7 @@ def test_round_trip_exact(instance):
         assert rebuilt.cost(c) == instance.cost(c)
 
 
-@given(instance=instances())
+@given(instance=bcc_instances())
 @settings(max_examples=30, deadline=None)
 def test_json_payload_is_pure(instance):
     """The payload must survive a JSON encode/decode cycle unchanged."""
