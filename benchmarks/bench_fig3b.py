@@ -16,8 +16,8 @@ from conftest import run_once
 from repro.experiments.figures import fig3b
 
 
-def test_fig3b(benchmark, scale):
-    result = run_once(benchmark, fig3b, scale=scale)
+def test_fig3b(benchmark, scale, parallel):
+    result = run_once(benchmark, fig3b, scale=scale, parallel=parallel)
     assert_best_per_point(result, "A^BCC")
     assert_monotone_in_x(result, "A^BCC")
     # RAND is qualitatively the worst baseline overall.

@@ -13,8 +13,8 @@ from conftest import run_once
 from repro.experiments.figures import fig3d
 
 
-def test_fig3d(benchmark, scale):
-    result = run_once(benchmark, fig3d, scale=scale)
+def test_fig3d(benchmark, scale, parallel):
+    result = run_once(benchmark, fig3d, scale=scale, parallel=parallel)
     for x in result.x_values():
         optimal = result.value_at(x, "BruteForce")
         ours = result.value_at(x, "A^BCC")

@@ -14,8 +14,8 @@ from conftest import run_once
 from repro.experiments.figures import fig3e
 
 
-def test_fig3e(benchmark, scale):
-    result = run_once(benchmark, fig3e, scale=scale)
+def test_fig3e(benchmark, scale, parallel):
+    result = run_once(benchmark, fig3e, scale=scale, parallel=parallel)
     sizes = result.x_values()
     # At the largest size the pruned variant must be faster.
     largest = sizes[-1]

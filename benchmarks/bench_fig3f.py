@@ -14,8 +14,8 @@ from conftest import run_once
 from repro.experiments.figures import fig3f
 
 
-def test_fig3f(benchmark, scale):
-    result = run_once(benchmark, fig3f, scale=scale)
+def test_fig3f(benchmark, scale, parallel):
+    result = run_once(benchmark, fig3f, scale=scale, parallel=parallel)
     for size in result.x_values():
         pruned = result.value_at(size, "with preprocessing")
         unpruned = result.value_at(size, "without preprocessing")

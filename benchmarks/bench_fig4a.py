@@ -15,8 +15,8 @@ from conftest import run_once
 from repro.experiments.figures import fig4a
 
 
-def test_fig4a(benchmark, scale):
-    result = run_once(benchmark, fig4a, scale=scale)
+def test_fig4a(benchmark, scale, parallel):
+    result = run_once(benchmark, fig4a, scale=scale, parallel=parallel)
     assert_best_per_point(result, "A^GMC3", lower_is_better=True)
     totals = {
         name: sum(v for _, v in result.series(name))

@@ -14,8 +14,8 @@ from conftest import run_once
 from repro.experiments.figures import fig4d
 
 
-def test_fig4d(benchmark, scale):
-    result = run_once(benchmark, fig4d, scale=scale)
+def test_fig4d(benchmark, scale, parallel):
+    result = run_once(benchmark, fig4d, scale=scale, parallel=parallel)
     sizes = result.x_values()
     largest = sizes[-1]
     ours = result.value_at(largest, "A^GMC3")

@@ -14,6 +14,6 @@ from conftest import run_once
 from repro.experiments.figures import fig4e
 
 
-def test_fig4e(benchmark, scale):
-    result = run_once(benchmark, fig4e, scale=scale)
+def test_fig4e(benchmark, scale, parallel):
+    result = run_once(benchmark, fig4e, scale=scale, parallel=parallel)
     assert_best_per_point(result, "A^ECC")

@@ -14,6 +14,6 @@ from conftest import run_once
 from repro.experiments.figures import fig4f
 
 
-def test_fig4f(benchmark, scale):
-    result = run_once(benchmark, fig4f, scale=scale)
+def test_fig4f(benchmark, scale, parallel):
+    result = run_once(benchmark, fig4f, scale=scale, parallel=parallel)
     assert_best_per_point(result, "A^ECC")

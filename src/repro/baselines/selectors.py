@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 from repro.core.coverage import CoverageTracker
 from repro.core.model import Classifier, ClassifierWorkload, Query
@@ -24,11 +24,18 @@ class BaseSelector:
     def __init__(self, workload: ClassifierWorkload) -> None:
         self.workload = workload
         self.tracker = CoverageTracker(workload)
-        self.pool: Set[Classifier] = {
-            c
-            for c in workload.relevant_classifiers()
-            if not math.isinf(workload.cost(c))
-        }
+        # Canonically ordered: selectors break score ties by pool position,
+        # and set iteration order is not stable across a pickle round-trip
+        # (process fan-out ships workloads to workers by pickling), so the
+        # pool must not inherit frozenset layout.
+        self.pool: List[Classifier] = sorted(
+            (
+                c
+                for c in workload.relevant_classifiers()
+                if not math.isinf(workload.cost(c))
+            ),
+            key=sorted,
+        )
 
     @property
     def selected(self) -> FrozenSet[Classifier]:

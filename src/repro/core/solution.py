@@ -30,6 +30,13 @@ class Solution:
     covered: FrozenSet[Query]
     meta: Mapping[str, object] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        # Normalize to float: ``sum()`` over an empty selection yields the
+        # int 0, which serializes as "0" rather than "0.0" and would break
+        # byte-identity between live and cache-replayed results.
+        object.__setattr__(self, "cost", float(self.cost))
+        object.__setattr__(self, "utility", float(self.utility))
+
     @property
     def ratio(self) -> float:
         """Utility-to-cost ratio (the ECC objective); ``inf`` at zero cost."""

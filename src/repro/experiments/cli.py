@@ -5,6 +5,13 @@ Examples::
     python -m repro.experiments fig3a
     python -m repro.experiments fig3b --scale paper --seed 7
     python -m repro.experiments all --scale tiny
+    python -m repro.experiments all --jobs 8 --cache
+
+``--jobs N`` fans each figure's sweep out over N worker processes
+(``REPRO_JOBS`` sets the default; results are bit-identical to serial).
+``--cache`` reuses previously solved cells from ``.repro-cache/``
+(``REPRO_CACHE_DIR`` overrides the location), so repeated sweeps replay
+instantly.
 """
 
 from __future__ import annotations
@@ -37,6 +44,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--seed", type=int, default=0, help="dataset seed")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes per figure sweep (default: REPRO_JOBS or 1; "
+        "0 = one per CPU; results are identical for every value)",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="reuse/store solved cells in the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache location (default: REPRO_CACHE_DIR or .repro-cache/)",
+    )
+    parser.add_argument(
         "--timings", action="store_true", help="also print per-cell runtimes"
     )
     parser.add_argument(
@@ -44,16 +68,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    from repro.parallel.cache import default_cache
+    from repro.parallel.pool import ParallelConfig
+
+    cache = default_cache(args.cache_dir) if args.cache else None
+    parallel = ParallelConfig(jobs=args.jobs, cache=cache)
+
     names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
     scale = SCALES[args.scale]
     for name in names:
-        result = ALL_FIGURES[name](scale=scale, seed=args.seed)
+        result = ALL_FIGURES[name](scale=scale, seed=args.seed, parallel=parallel)
         print(render_table(result))
         if args.bars:
             print(render_bars(result))
         if args.timings:
             print(render_timings(result))
         print()
+    if cache is not None:
+        stats = cache.stats
+        print(
+            f"cache: {stats.hits} hits, {stats.misses} misses, "
+            f"{stats.stores} stored, {stats.evictions} evicted "
+            f"({cache.directory})"
+        )
     return 0
 
 

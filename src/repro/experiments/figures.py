@@ -4,41 +4,40 @@ Every function takes a :class:`~repro.experiments.scales.Scale` and a seed
 and returns a :class:`~repro.experiments.runner.FigureResult` whose rows
 mirror the series the paper plots.  Dataset sizes default to laptop scale;
 pass ``PAPER`` to approach the paper's sizes.
+
+Execution goes through the task layer (:mod:`repro.parallel`): each
+figure stages every cell of its sweep — budget points × algorithms ×
+randomized trials — into one :class:`~repro.parallel.pool.TaskBatch` and
+runs it in a single batch, so ``parallel=ParallelConfig(jobs=N)`` fans
+the whole sweep out across workers while row assembly stays in the fixed
+serial order.  Randomized arms take per-trial seeds (the trial index, the
+paper's convention); no task shares RNG state, so results are
+bit-identical for every ``jobs`` value.  Passing a cache-bearing config
+replays previously solved cells, timings included.
 """
 
 from __future__ import annotations
 
-import time
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional
 
-from repro.algorithms import (
-    AbccConfig,
-    Gmc3Config,
-    solve_bcc,
-    solve_bcc_exact,
-    solve_ecc,
-    solve_gmc3,
-)
-from repro.algorithms.pruning import PruningConfig
-from repro.baselines import (
-    ig1_bcc,
-    ig1_ecc,
-    ig1_gmc3,
-    ig2_bcc,
-    ig2_ecc,
-    ig2_gmc3,
-    rand_bcc,
-    rand_ecc,
-    rand_gmc3,
-)
 from repro.core.model import BCCInstance, ECCInstance, GMC3Instance
 from repro.datasets import generate_bestbuy, generate_private, generate_synthetic
-from repro.experiments.runner import FigureResult, budget_sweep, timed
+from repro.experiments.runner import (
+    FigureResult,
+    budget_sweep,
+    mean_in_order,
+)
 from repro.experiments.scales import SMALL, Scale
 from repro.mc3 import full_cover_cost
+from repro.parallel.pool import ParallelConfig, TaskBatch
 
 BCC_FRACTIONS = (0.05, 0.15, 0.3, 0.6)
 GMC3_FRACTIONS = (0.25, 0.5, 0.75)
+
+#: (display name, registry solver) per figure family, in row order.
+_BCC_ARMS = (("IG1", "ig1-bcc"), ("IG2", "ig2-bcc"), ("A^BCC", "abcc"))
+_GMC3_ARMS = (("IG1(G)", "ig1-gmc3"), ("IG2(G)", "ig2-gmc3"), ("A^GMC3", "agmc3"))
+_ECC_ARMS = (("IG1(E)", "ig1-ecc"), ("IG2(E)", "ig2-ecc"), ("A^ECC", "aecc"))
 
 
 def _dataset(scale: Scale, name: str, seed: int) -> BCCInstance:
@@ -83,8 +82,33 @@ def _as_ecc(instance: BCCInstance) -> ECCInstance:
     )
 
 
+def _add_rand_row(
+    result: FigureResult,
+    results,
+    x,
+    name: str,
+    keys: List[str],
+    value: Callable,
+    **extra,
+) -> None:
+    """One averaged randomized-baseline row from the per-trial task results."""
+    trials = [results[key] for key in keys]
+    result.add(
+        x,
+        name,
+        mean_in_order([value(t.solution) for t in trials]),
+        sum(t.seconds for t in trials),
+        solutions=[t.solution for t in trials],
+        **extra,
+    )
+
+
 def _bcc_figure(
-    figure: str, dataset: str, scale: Scale, seed: int
+    figure: str,
+    dataset: str,
+    scale: Scale,
+    seed: int,
+    parallel: Optional[ParallelConfig] = None,
 ) -> FigureResult:
     """Shared engine for Figures 3a/3b/3c: utility vs budget, 4 algorithms."""
     base = _dataset(scale, dataset, seed)
@@ -98,38 +122,50 @@ def _bcc_figure(
     )
     result.notes.append(f"MC3 full-cover cost: {full_cost:.0f}")
     result.notes.append(f"total utility: {base.total_utility():.0f}")
+
+    batch = TaskBatch()
     for budget in budgets:
         instance = base.with_budget(budget)
-        rand_total = 0.0
-        rand_seconds = 0.0
-        for rand_seed in range(scale.rand_repeats):
-            solution, seconds = timed(lambda s=rand_seed: rand_bcc(instance, seed=s))
-            rand_total += solution.utility
-            rand_seconds += seconds
-        result.add(budget, "RAND", rand_total / scale.rand_repeats, rand_seconds)
-        for name, algorithm in (
-            ("IG1", ig1_bcc),
-            ("IG2", ig2_bcc),
-            ("A^BCC", solve_bcc),
-        ):
-            solution, seconds = timed(lambda a=algorithm: a(instance))
-            result.add(budget, name, solution.utility, seconds)
+        for trial in range(scale.rand_repeats):
+            batch.add(f"B{budget:g}/RAND/{trial}", "rand-bcc", instance, seed=trial)
+        for name, solver in _BCC_ARMS:
+            batch.add(f"B{budget:g}/{name}", solver, instance)
+    results = batch.run(parallel)
+
+    for budget in budgets:
+        _add_rand_row(
+            result,
+            results,
+            budget,
+            "RAND",
+            [f"B{budget:g}/RAND/{t}" for t in range(scale.rand_repeats)],
+            value=lambda s: s.utility,
+        )
+        for name, _ in _BCC_ARMS:
+            arm = results[f"B{budget:g}/{name}"]
+            result.add(budget, name, arm.solution.utility, arm.seconds, solution=arm.solution)
     return result
 
 
-def fig3a(scale: Scale = SMALL, seed: int = 0) -> FigureResult:
+def fig3a(
+    scale: Scale = SMALL, seed: int = 0, parallel: Optional[ParallelConfig] = None
+) -> FigureResult:
     """Figure 3a: utility by budget, BestBuy dataset."""
-    return _bcc_figure("fig3a", "BB", scale, seed)
+    return _bcc_figure("fig3a", "BB", scale, seed, parallel)
 
 
-def fig3b(scale: Scale = SMALL, seed: int = 0) -> FigureResult:
+def fig3b(
+    scale: Scale = SMALL, seed: int = 0, parallel: Optional[ParallelConfig] = None
+) -> FigureResult:
     """Figure 3b: utility by budget, Private dataset."""
-    return _bcc_figure("fig3b", "P", scale, seed)
+    return _bcc_figure("fig3b", "P", scale, seed, parallel)
 
 
-def fig3c(scale: Scale = SMALL, seed: int = 0) -> FigureResult:
+def fig3c(
+    scale: Scale = SMALL, seed: int = 0, parallel: Optional[ParallelConfig] = None
+) -> FigureResult:
     """Figure 3c: utility by budget, Synthetic dataset."""
-    return _bcc_figure("fig3c", "S", scale, seed)
+    return _bcc_figure("fig3c", "S", scale, seed, parallel)
 
 
 def _small_subinstances(scale: Scale, seed: int, count: int = 4) -> List[BCCInstance]:
@@ -153,7 +189,6 @@ def _small_subinstances(scale: Scale, seed: int, count: int = 4) -> List[BCCInst
             by_category[category], key=lambda q: -base.utility(q)
         )
         chosen: List = []
-        import math as _math
 
         feasible = 0
         for query in queries:
@@ -178,39 +213,57 @@ def _small_subinstances(scale: Scale, seed: int, count: int = 4) -> List[BCCInst
     return instances
 
 
-def fig3d(scale: Scale = SMALL, seed: int = 0) -> FigureResult:
+def fig3d(
+    scale: Scale = SMALL, seed: int = 0, parallel: Optional[ParallelConfig] = None
+) -> FigureResult:
     """Figure 3d: A^BCC vs brute force on small P subdomains.
 
     The paper reports the loss is always below 20% on these instances.
     """
+    import math as _math
+
     result = FigureResult(
         figure="fig3d",
         title="A^BCC vs exhaustive search on small P subdomains",
         x_label="subdomain",
         value_label="total covered utility",
     )
-    worst_ratio = 1.0
+    subinstances = []
+    batch = TaskBatch()
     for index, sub in enumerate(_small_subinstances(scale, seed)):
-        import math as _math
-
         total_cost = sum(
             sub.cost(c)
             for c in sub.relevant_classifiers()
             if not _math.isinf(sub.cost(c))
         )
         instance = sub.with_budget(max(1.0, round(total_cost * 0.4)))
-        exact, exact_seconds = timed(lambda: solve_bcc_exact(instance))
-        ours, our_seconds = timed(lambda: solve_bcc(instance))
-        result.add(index, "BruteForce", exact.utility, exact_seconds)
-        result.add(index, "A^BCC", ours.utility, our_seconds)
-        if exact.utility > 0:
-            worst_ratio = min(worst_ratio, ours.utility / exact.utility)
+        subinstances.append(instance)
+        batch.add(f"sub{index}/BruteForce", "bcc-exact", instance)
+        batch.add(f"sub{index}/A^BCC", "abcc", instance)
+    results = batch.run(parallel)
+
+    worst_ratio = 1.0
+    for index in range(len(subinstances)):
+        exact = results[f"sub{index}/BruteForce"]
+        ours = results[f"sub{index}/A^BCC"]
+        result.add(
+            index, "BruteForce", exact.solution.utility, exact.seconds,
+            solution=exact.solution,
+        )
+        result.add(
+            index, "A^BCC", ours.solution.utility, ours.seconds, solution=ours.solution
+        )
+        if exact.solution.utility > 0:
+            worst_ratio = min(worst_ratio, ours.solution.utility / exact.solution.utility)
     result.notes.append(f"worst A^BCC/optimal ratio: {worst_ratio:.3f}")
     return result
 
 
 def _preprocessing_sweep(
-    scale: Scale, seed: int, value: str
+    scale: Scale,
+    seed: int,
+    value: str,
+    parallel: Optional[ParallelConfig] = None,
 ) -> FigureResult:
     """Shared engine for Figures 3e (runtime) and 3f (utility)."""
     figure = "fig3e" if value == "seconds" else "fig3f"
@@ -220,6 +273,7 @@ def _preprocessing_sweep(
         x_label="num queries",
         value_label="runtime (s)" if value == "seconds" else "total covered utility",
     )
+    batch = TaskBatch()
     for size in scale.sweep_sizes:
         instance = generate_synthetic(
             n_queries=size,
@@ -227,32 +281,39 @@ def _preprocessing_sweep(
             budget=max(50.0, size * 0.6),
             seed=seed + size,
         )
-        with_pruning, seconds_with = timed(
-            lambda: solve_bcc(instance, AbccConfig(pruning=PruningConfig.paper()))
-        )
-        without, seconds_without = timed(
-            lambda: solve_bcc(instance, AbccConfig(pruning=None))
-        )
-        if value == "seconds":
-            result.add(size, "with preprocessing", seconds_with, seconds_with)
-            result.add(size, "without preprocessing", seconds_without, seconds_without)
-        else:
-            result.add(size, "with preprocessing", with_pruning.utility, seconds_with)
-            result.add(size, "without preprocessing", without.utility, seconds_without)
+        batch.add(f"q{size}/with", "abcc-pruned", instance)
+        batch.add(f"q{size}/without", "abcc-unpruned", instance)
+    results = batch.run(parallel)
+
+    for size in scale.sweep_sizes:
+        for arm, name in (("with", "with preprocessing"), ("without", "without preprocessing")):
+            outcome = results[f"q{size}/{arm}"]
+            measured = outcome.seconds if value == "seconds" else outcome.solution.utility
+            result.add(size, name, measured, outcome.seconds, solution=outcome.solution)
     return result
 
 
-def fig3e(scale: Scale = SMALL, seed: int = 0) -> FigureResult:
+def fig3e(
+    scale: Scale = SMALL, seed: int = 0, parallel: Optional[ParallelConfig] = None
+) -> FigureResult:
     """Figure 3e: runtime with/without preprocessing vs #queries (S)."""
-    return _preprocessing_sweep(scale, seed, "seconds")
+    return _preprocessing_sweep(scale, seed, "seconds", parallel)
 
 
-def fig3f(scale: Scale = SMALL, seed: int = 0) -> FigureResult:
+def fig3f(
+    scale: Scale = SMALL, seed: int = 0, parallel: Optional[ParallelConfig] = None
+) -> FigureResult:
     """Figure 3f: utility with/without preprocessing vs #queries (S)."""
-    return _preprocessing_sweep(scale, seed, "utility")
+    return _preprocessing_sweep(scale, seed, "utility", parallel)
 
 
-def _gmc3_figure(figure: str, dataset: str, scale: Scale, seed: int) -> FigureResult:
+def _gmc3_figure(
+    figure: str,
+    dataset: str,
+    scale: Scale,
+    seed: int,
+    parallel: Optional[ParallelConfig] = None,
+) -> FigureResult:
     """Shared engine for Figures 4a/4b/4c: budget used vs utility target."""
     base = _dataset(scale, dataset, seed)
     total = base.total_utility()
@@ -262,42 +323,63 @@ def _gmc3_figure(figure: str, dataset: str, scale: Scale, seed: int) -> FigureRe
         x_label="utility target",
         value_label="classifier cost used (lower is better)",
     )
-    for fraction in GMC3_FRACTIONS:
-        target = round(total * fraction)
+    targets = [round(total * fraction) for fraction in GMC3_FRACTIONS]
+
+    batch = TaskBatch()
+    for target in targets:
         instance = _as_gmc3(base, target)
-        rand_total = 0.0
-        rand_seconds = 0.0
-        for rand_seed in range(scale.rand_repeats):
-            solution, seconds = timed(lambda s=rand_seed: rand_gmc3(instance, seed=s))
-            rand_total += solution.cost
-            rand_seconds += seconds
-        result.add(target, "RAND(G)", rand_total / scale.rand_repeats, rand_seconds)
-        for name, algorithm in (
-            ("IG1(G)", ig1_gmc3),
-            ("IG2(G)", ig2_gmc3),
-            ("A^GMC3", solve_gmc3),
-        ):
-            solution, seconds = timed(lambda a=algorithm: a(instance))
-            result.add(target, name, solution.cost, seconds, utility=solution.utility)
+        for trial in range(scale.rand_repeats):
+            batch.add(f"T{target:g}/RAND(G)/{trial}", "rand-gmc3", instance, seed=trial)
+        for name, solver in _GMC3_ARMS:
+            batch.add(f"T{target:g}/{name}", solver, instance)
+    results = batch.run(parallel)
+
+    for target in targets:
+        _add_rand_row(
+            result,
+            results,
+            target,
+            "RAND(G)",
+            [f"T{target:g}/RAND(G)/{t}" for t in range(scale.rand_repeats)],
+            value=lambda s: s.cost,
+        )
+        for name, _ in _GMC3_ARMS:
+            arm = results[f"T{target:g}/{name}"]
+            result.add(
+                target,
+                name,
+                arm.solution.cost,
+                arm.seconds,
+                utility=arm.solution.utility,
+                solution=arm.solution,
+            )
     return result
 
 
-def fig4a(scale: Scale = SMALL, seed: int = 0) -> FigureResult:
+def fig4a(
+    scale: Scale = SMALL, seed: int = 0, parallel: Optional[ParallelConfig] = None
+) -> FigureResult:
     """Figure 4a: GMC3 budget used by target, BestBuy dataset."""
-    return _gmc3_figure("fig4a", "BB", scale, seed)
+    return _gmc3_figure("fig4a", "BB", scale, seed, parallel)
 
 
-def fig4b(scale: Scale = SMALL, seed: int = 0) -> FigureResult:
+def fig4b(
+    scale: Scale = SMALL, seed: int = 0, parallel: Optional[ParallelConfig] = None
+) -> FigureResult:
     """Figure 4b: GMC3 budget used by target, Private dataset."""
-    return _gmc3_figure("fig4b", "P", scale, seed)
+    return _gmc3_figure("fig4b", "P", scale, seed, parallel)
 
 
-def fig4c(scale: Scale = SMALL, seed: int = 0) -> FigureResult:
+def fig4c(
+    scale: Scale = SMALL, seed: int = 0, parallel: Optional[ParallelConfig] = None
+) -> FigureResult:
     """Figure 4c: GMC3 budget used by target, Synthetic dataset."""
-    return _gmc3_figure("fig4c", "S", scale, seed)
+    return _gmc3_figure("fig4c", "S", scale, seed, parallel)
 
 
-def fig4d(scale: Scale = SMALL, seed: int = 0) -> FigureResult:
+def fig4d(
+    scale: Scale = SMALL, seed: int = 0, parallel: Optional[ParallelConfig] = None
+) -> FigureResult:
     """Figure 4d: GMC3 running time over synthetic sizes.
 
     The paper uses a representative target; we use half the total utility.
@@ -308,6 +390,7 @@ def fig4d(scale: Scale = SMALL, seed: int = 0) -> FigureResult:
         x_label="num queries",
         value_label="runtime (s)",
     )
+    batch = TaskBatch()
     for size in scale.sweep_sizes:
         base = generate_synthetic(
             n_queries=size,
@@ -316,17 +399,24 @@ def fig4d(scale: Scale = SMALL, seed: int = 0) -> FigureResult:
         )
         target = round(base.total_utility() * 0.5)
         instance = _as_gmc3(base, target)
-        for name, algorithm in (
-            ("IG1(G)", ig1_gmc3),
-            ("IG2(G)", ig2_gmc3),
-            ("A^GMC3", solve_gmc3),
-        ):
-            _, seconds = timed(lambda a=algorithm: a(instance))
-            result.add(size, name, seconds, seconds)
+        for name, solver in _GMC3_ARMS:
+            batch.add(f"q{size}/{name}", solver, instance)
+    results = batch.run(parallel)
+
+    for size in scale.sweep_sizes:
+        for name, _ in _GMC3_ARMS:
+            arm = results[f"q{size}/{name}"]
+            result.add(size, name, arm.seconds, arm.seconds, solution=arm.solution)
     return result
 
 
-def _ecc_figure(figure: str, dataset: str, scale: Scale, seed: int) -> FigureResult:
+def _ecc_figure(
+    figure: str,
+    dataset: str,
+    scale: Scale,
+    seed: int,
+    parallel: Optional[ParallelConfig] = None,
+) -> FigureResult:
     """Shared engine for Figures 4e/4f: best utility/cost ratio."""
     base = _dataset(scale, dataset, seed)
     instance = _as_ecc(base)
@@ -336,31 +426,46 @@ def _ecc_figure(figure: str, dataset: str, scale: Scale, seed: int) -> FigureRes
         x_label="dataset",
         value_label="utility / cost (higher is better)",
     )
-    rand_best = 0.0
-    rand_seconds = 0.0
-    for rand_seed in range(scale.rand_repeats):
-        solution, seconds = timed(lambda s=rand_seed: rand_ecc(instance, seed=s))
-        rand_best += solution.ratio
-        rand_seconds += seconds
-    result.add(dataset, "RAND(E)", rand_best / scale.rand_repeats, rand_seconds)
-    for name, algorithm in (
-        ("IG1(E)", ig1_ecc),
-        ("IG2(E)", ig2_ecc),
-        ("A^ECC", solve_ecc),
-    ):
-        solution, seconds = timed(lambda a=algorithm: a(instance))
-        result.add(dataset, name, solution.ratio, seconds, cost=solution.cost)
+    batch = TaskBatch()
+    for trial in range(scale.rand_repeats):
+        batch.add(f"RAND(E)/{trial}", "rand-ecc", instance, seed=trial)
+    for name, solver in _ECC_ARMS:
+        batch.add(name, solver, instance)
+    results = batch.run(parallel)
+
+    _add_rand_row(
+        result,
+        results,
+        dataset,
+        "RAND(E)",
+        [f"RAND(E)/{t}" for t in range(scale.rand_repeats)],
+        value=lambda s: s.ratio,
+    )
+    for name, _ in _ECC_ARMS:
+        arm = results[name]
+        result.add(
+            dataset,
+            name,
+            arm.solution.ratio,
+            arm.seconds,
+            cost=arm.solution.cost,
+            solution=arm.solution,
+        )
     return result
 
 
-def fig4e(scale: Scale = SMALL, seed: int = 0) -> FigureResult:
+def fig4e(
+    scale: Scale = SMALL, seed: int = 0, parallel: Optional[ParallelConfig] = None
+) -> FigureResult:
     """Figure 4e: ECC best ratio, Private dataset."""
-    return _ecc_figure("fig4e", "P", scale, seed)
+    return _ecc_figure("fig4e", "P", scale, seed, parallel)
 
 
-def fig4f(scale: Scale = SMALL, seed: int = 0) -> FigureResult:
+def fig4f(
+    scale: Scale = SMALL, seed: int = 0, parallel: Optional[ParallelConfig] = None
+) -> FigureResult:
     """Figure 4f: ECC best ratio, Synthetic dataset."""
-    return _ecc_figure("fig4f", "S", scale, seed)
+    return _ecc_figure("fig4f", "S", scale, seed, parallel)
 
 
 ALL_FIGURES: Dict[str, Callable[..., FigureResult]] = {

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -62,6 +64,50 @@ class FigureResult:
                 return row.value
         return None
 
+    def canonical(self, include_seconds: bool = True) -> str:
+        """A canonical serialization of the rows (stability comparisons).
+
+        Rows serialize in insertion order with sorted keys; floats keep
+        their exact shortest-round-trip form, ``Solution`` objects in the
+        extras canonicalize through the cache payload encoding (sorted
+        classifier lists, no iteration-order leakage).  Two runs of the
+        same figure produced identical rows iff their canonical strings
+        are byte-identical.  ``include_seconds=False`` drops everything
+        wall-clock — the timing column *and* solver timing telemetry in
+        solution metas — for comparisons across cold runs.
+        """
+        from repro.parallel.cache import solution_to_payload
+
+        def encode(value: Any) -> Any:
+            if isinstance(value, Solution):
+                payload = solution_to_payload(value)
+                if not include_seconds:
+                    payload.pop("meta", None)
+                return payload
+            if isinstance(value, dict):
+                return {str(k): encode(v) for k, v in value.items()}
+            if isinstance(value, (list, tuple)):
+                return [encode(v) for v in value]
+            if isinstance(value, (str, int, float, bool)) or value is None:
+                return value
+            return repr(value)
+
+        payload = [
+            {
+                "x": encode(row.x),
+                "algorithm": row.algorithm,
+                "value": encode(row.value),
+                **({"seconds": encode(row.seconds)} if include_seconds else {}),
+                "extra": encode(row.extra),
+            }
+            for row in self.rows
+        ]
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+    def digest(self, include_seconds: bool = True) -> str:
+        """Hex SHA-256 of :meth:`canonical` — the row-stability fingerprint."""
+        return hashlib.sha256(self.canonical(include_seconds).encode("utf-8")).hexdigest()
+
 
 def timed(fn: Callable[[], Solution]) -> Tuple[Solution, float]:
     """Run ``fn`` and return ``(result, wall seconds)``."""
@@ -70,25 +116,65 @@ def timed(fn: Callable[[], Solution]) -> Tuple[Solution, float]:
     return result, time.perf_counter() - start
 
 
+class _TimedTrial:
+    """Picklable per-seed trial runner (module-level for the process pool)."""
+
+    def __init__(self, run: Callable[[int], Solution]) -> None:
+        self.run = run
+
+    def __call__(self, seed: int) -> Tuple[Solution, float]:
+        start = time.perf_counter()
+        solution = self.run(seed)
+        return solution, time.perf_counter() - start
+
+
 def averaged_random(
-    run: Callable[[int], Solution], repeats: int = 5
+    run: Callable[[int], Solution],
+    repeats: int = 5,
+    jobs: Optional[int] = 1,
 ) -> Tuple[float, float, Solution]:
     """Average a randomized baseline over ``repeats`` seeds (paper: 5).
+
+    Every trial receives its own seed — the trial index, matching the
+    paper's "5 seeds" convention — and ``run`` must be a *pure function of
+    that seed*: no RNG state may be shared between trials, so trials can
+    execute out of order or in parallel (``jobs > 1``; ``run`` must then
+    be picklable) without changing the answer.  Values accumulate in
+    trial-index order regardless of completion order, keeping the mean
+    bit-identical across serial and parallel execution.
 
     Returns ``(mean value, total seconds, last solution)``; the caller
     decides whether value means utility, cost or ratio via ``run``.
     """
+    from repro.parallel.pool import pmap
+
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    outcomes = pmap(_TimedTrial(run), list(range(repeats)), jobs=jobs)
     total_value = 0.0
     total_seconds = 0.0
     last: Optional[Solution] = None
-    for seed in range(repeats):
-        start = time.perf_counter()
-        solution = run(seed)
-        total_seconds += time.perf_counter() - start
+    for solution, seconds in outcomes:  # trial-index order, not completion order
         total_value += solution.utility
+        total_seconds += seconds
         last = solution
     assert last is not None
     return total_value / repeats, total_seconds, last
+
+
+def mean_in_order(values: List[float]) -> float:
+    """The mean with left-to-right float accumulation.
+
+    Float addition is not associative; every path that averages trial
+    values uses this helper so serial, parallel and cache-served runs sum
+    in the same order and agree to the last bit.
+    """
+    if not values:
+        raise ValueError("mean_in_order requires at least one value")
+    total = 0.0
+    for value in values:
+        total += value
+    return total / len(values)
 
 
 def budget_sweep(full_cost: float, fractions: Tuple[float, ...]) -> List[float]:

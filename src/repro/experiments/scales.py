@@ -3,13 +3,17 @@
 ``PAPER`` mirrors the paper's dataset sizes (BestBuy 1000/725, Private
 5K/2K, Synthetic 100K scaled to 20K for a laptop); ``SMALL`` is the
 fast default used by the pytest benchmarks, preserving every comparison
-and sweep shape at reduced size; ``TINY`` exists for smoke tests.
+and sweep shape at reduced size; ``TINY`` exists for smoke tests;
+``MICRO`` is smaller still — every sweep keeps its shape but each cell
+solves in milliseconds, which is what the serial-vs-parallel equality
+suite runs all twelve figures at.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -24,6 +28,18 @@ class Scale:
     sweep_sizes: Tuple[int, ...]
     rand_repeats: int
 
+
+MICRO = Scale(
+    name="micro",
+    bb_queries=60,
+    bb_properties=80,
+    p_queries=80,
+    p_properties=130,
+    s_queries=100,
+    s_properties=80,
+    sweep_sizes=(60, 120),
+    rand_repeats=2,
+)
 
 TINY = Scale(
     name="tiny",
@@ -61,4 +77,23 @@ PAPER = Scale(
     rand_repeats=5,
 )
 
-SCALES = {scale.name: scale for scale in (TINY, SMALL, PAPER)}
+SCALES = {scale.name: scale for scale in (MICRO, TINY, SMALL, PAPER)}
+
+
+def scale_from_env(variable: str = "REPRO_BENCH_SCALE", default: str = "tiny") -> Scale:
+    """The scale named by an environment variable (shared CLI/bench logic)."""
+    name = os.environ.get(variable, default)
+    if name not in SCALES:
+        raise ValueError(f"{variable} must be one of {sorted(SCALES)}, got {name!r}")
+    return SCALES[name]
+
+
+def jobs_from_env(variable: str = "REPRO_BENCH_JOBS", default: int = 1) -> Optional[int]:
+    """Worker count named by an environment variable (benchmark knob)."""
+    raw = os.environ.get(variable)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{variable} must be an integer, got {raw!r}")

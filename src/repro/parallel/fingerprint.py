@@ -1,0 +1,90 @@
+"""Stable instance fingerprints — the cache key of the execution layer.
+
+A fingerprint is a SHA-256 over a canonical encoding of the semantic
+content of an instance: the tuple ``⟨Q, U, C, B⟩`` (or target for GMC3),
+plus the defaults that complete the partial utility/cost maps.  Canonical
+means the encoding is invariant under every representation detail that
+does not change the instance:
+
+- query order and property iteration order (everything is sorted);
+- dict insertion order of the utility and cost maps;
+- float formatting of values (``2`` vs ``2.0`` vs ``2e0`` all encode as
+  the shortest round-trip ``repr`` of the same ``float``);
+- whether a query's utility arrives explicitly or through
+  ``default_utility`` (effective per-query utilities are encoded).
+
+Explicit classifier costs are encoded as the sorted explicit map plus the
+default — two instances whose cost maps differ only in the explicit vs.
+default split of the *same* effective costs hash differently, which costs
+a cache miss but never a wrong hit.  Two semantically different instances
+collide only with SHA-256 collision probability.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.model import BCCInstance, ClassifierWorkload, GMC3Instance
+
+FINGERPRINT_VERSION = 1
+
+
+def _encode_float(value: float) -> str:
+    """Shortest round-trip encoding; normalizes int-valued inputs."""
+    value = float(value)
+    if math.isinf(value):
+        return "inf" if value > 0 else "-inf"
+    if math.isnan(value):
+        return "nan"
+    return repr(value)
+
+
+def _encode_props(props: Iterable[object]) -> str:
+    return "{" + ",".join(sorted(str(p) for p in props)) + "}"
+
+
+def workload_tokens(workload: ClassifierWorkload) -> List[str]:
+    """The canonical token stream of the budget-free part of an instance."""
+    tokens = [f"v{FINGERPRINT_VERSION}", type(workload).__name__]
+    tokens.append("Q:")
+    for query in sorted(workload.queries, key=_encode_props):
+        tokens.append(f"{_encode_props(query)}={_encode_float(workload.utility(query))}")
+    tokens.append("C:")
+    explicit = sorted(
+        (_encode_props(classifier), _encode_float(cost))
+        for classifier, cost in workload._costs.items()
+    )
+    tokens.extend(f"{name}={cost}" for name, cost in explicit)
+    tokens.append(f"dU={_encode_float(workload.default_utility)}")
+    tokens.append(f"dC={_encode_float(workload.default_cost)}")
+    return tokens
+
+
+def instance_fingerprint(workload: ClassifierWorkload) -> str:
+    """Hex SHA-256 of the canonical instance encoding (includes B/T)."""
+    tokens = workload_tokens(workload)
+    if isinstance(workload, BCCInstance):
+        tokens.append(f"B={_encode_float(workload.budget)}")
+    elif isinstance(workload, GMC3Instance):
+        tokens.append(f"T={_encode_float(workload.target)}")
+    payload = "\x1f".join(tokens).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def task_fingerprint(
+    workload: ClassifierWorkload,
+    solver: str,
+    seed: Optional[int] = None,
+    params: Tuple[Tuple[str, object], ...] = (),
+) -> str:
+    """Cache key of one solve: instance ⊕ solver name ⊕ seed ⊕ params."""
+    tokens = [
+        instance_fingerprint(workload),
+        f"solver={solver}",
+        f"seed={'-' if seed is None else int(seed)}",
+    ]
+    tokens.extend(f"{name}={value!r}" for name, value in sorted(params))
+    payload = "\x1f".join(tokens).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()

@@ -1,0 +1,244 @@
+"""Process-pool task execution with a serial fallback and result caching.
+
+The unit of work is a :class:`SolveTask`: one named solver applied to one
+instance with one derived seed.  :func:`run_tasks` executes a batch —
+serially when ``jobs == 1`` (debugging and coverage stay trivial), via
+``ProcessPoolExecutor`` otherwise — and returns results *in task order*
+regardless of completion order.  Determinism contract:
+
+- tasks share no state: randomized solvers are pure functions of their
+  ``seed`` field (derive seeds with :func:`repro.parallel.seeding.seed_for`);
+- results are collected positionally, so reductions downstream (means,
+  best-of) accumulate in the same order on every path;
+- hence ``jobs=N`` is bit-identical to ``jobs=1`` for every batch.
+
+With a :class:`~repro.parallel.cache.ResultCache` attached, each task's
+fingerprint (instance ⊕ solver ⊕ seed) is consulted first and only the
+misses are executed; stored entries include the original wall seconds, so
+warm sweeps reproduce cold rows exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.core.model import ClassifierWorkload
+from repro.core.solution import Solution
+from repro.parallel.cache import ResultCache
+from repro.parallel.fingerprint import task_fingerprint
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Hard ceiling on worker processes (a runaway guard, not a tuning knob).
+MAX_JOBS = 64
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """The effective worker count: explicit arg, else ``REPRO_JOBS``, else 1.
+
+    ``jobs=0`` means "one worker per CPU".  The result is clamped to
+    ``[1, MAX_JOBS]``.
+    """
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "1")
+        try:
+            jobs = int(raw)
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS must be an integer, got {raw!r}")
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 0:
+        jobs = os.cpu_count() or 1
+    return max(1, min(jobs, MAX_JOBS))
+
+
+def pmap(fn: Callable[[T], R], items: Sequence[T], jobs: Optional[int] = None) -> List[R]:
+    """``[fn(x) for x in items]`` with optional process-pool fan-out.
+
+    ``fn`` and every item must be picklable when ``jobs > 1``.  Output
+    order always matches input order; ``jobs=1`` runs inline with no pool
+    machinery at all.
+    """
+    items = list(items)
+    jobs = resolve_jobs(jobs)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    workers = min(jobs, len(items))
+    chunksize = max(1, len(items) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        return list(executor.map(fn, items, chunksize=chunksize))
+
+
+@dataclass(frozen=True)
+class SolveTask:
+    """One solver applied to one instance (the parallel unit of work).
+
+    Attributes:
+        key: batch-unique label used to address the result (never hashed).
+        solver: registry name (see :mod:`repro.parallel.registry`).
+        instance: the workload to solve (picklable by construction).
+        seed: derived seed for randomized solvers; None for deterministic.
+        certify: verify the result and attach its witness certificate.
+    """
+
+    key: str
+    solver: str
+    instance: ClassifierWorkload
+    seed: Optional[int] = None
+    certify: bool = False
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """One executed (or cache-served) task."""
+
+    key: str
+    solution: Solution
+    seconds: float
+    cached: bool = False
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Execution policy for a batch: worker count and cache handle.
+
+    ``jobs=None`` defers to ``REPRO_JOBS`` (default 1); ``cache=None``
+    disables caching; ``certify=True`` forces certification onto every
+    task in the batch.
+    """
+
+    jobs: Optional[int] = None
+    cache: Optional[ResultCache] = None
+    certify: bool = False
+
+
+#: The do-nothing default: serial, uncached, uncertified.
+SERIAL = ParallelConfig(jobs=1)
+
+
+def _execute_task(task: SolveTask) -> Tuple[Solution, float]:
+    """Worker entry: solve one task and time it (runs in the pool)."""
+    from repro.parallel.registry import get_solver
+
+    solver = get_solver(task.solver)
+    start = time.perf_counter()
+    solution = solver(task.instance, task.seed, task.certify)
+    return solution, time.perf_counter() - start
+
+
+def _recertify(task: SolveTask, solution: Solution) -> Solution:
+    """Re-attach a certificate to a cache-served solution.
+
+    Cached payloads never store certificates (they would be trusted
+    blindly); certification is deterministic, so re-deriving it from the
+    instance keeps hits equivalent to misses.
+    """
+    from repro.core.model import BCCInstance, GMC3Instance
+    from repro.verify.certificate import attach_certificate
+
+    budget = task.instance.budget if isinstance(task.instance, BCCInstance) else None
+    target = task.instance.target if isinstance(task.instance, GMC3Instance) else None
+    return attach_certificate(task.instance, solution, budget=budget, target=target)
+
+
+def run_tasks(
+    tasks: Sequence[SolveTask], parallel: Optional[ParallelConfig] = None
+) -> List[TaskResult]:
+    """Execute a batch and return results aligned with ``tasks``.
+
+    Cache hits are served without touching the pool; only misses execute,
+    and their results are stored back.  The returned list order — and
+    every float in it — is independent of ``jobs``.
+    """
+    config = parallel or SERIAL
+    tasks = list(tasks)
+    seen = set()
+    for task in tasks:
+        if task.key in seen:
+            raise ValueError(f"duplicate task key {task.key!r} in batch")
+        seen.add(task.key)
+    if config.certify:
+        tasks = [
+            task if task.certify
+            else SolveTask(task.key, task.solver, task.instance, task.seed, True)
+            for task in tasks
+        ]
+
+    results: List[Optional[TaskResult]] = [None] * len(tasks)
+    misses: List[int] = []
+    fingerprints: List[Optional[str]] = [None] * len(tasks)
+    for index, task in enumerate(tasks):
+        if config.cache is None:
+            misses.append(index)
+            continue
+        fingerprint = task_fingerprint(task.instance, task.solver, task.seed)
+        fingerprints[index] = fingerprint
+        hit = config.cache.get(fingerprint)
+        if hit is None:
+            misses.append(index)
+            continue
+        solution, seconds = hit
+        if task.certify:
+            solution = _recertify(task, solution)
+        results[index] = TaskResult(task.key, solution, seconds, cached=True)
+
+    executed = pmap(_execute_task, [tasks[i] for i in misses], jobs=config.jobs)
+    for index, (solution, seconds) in zip(misses, executed):
+        task = tasks[index]
+        results[index] = TaskResult(task.key, solution, seconds, cached=False)
+        if config.cache is not None:
+            config.cache.put(fingerprints[index], solution, seconds)
+
+    return [result for result in results if result is not None]
+
+
+@dataclass
+class TaskBatch:
+    """An order-preserving task accumulator with keyed result lookup.
+
+    Figure builders stage every cell of a sweep into one batch, run it in
+    a single :func:`run_tasks` call (maximal fan-out across budget points,
+    trials and arms), then assemble rows by key.
+    """
+
+    tasks: List[SolveTask] = field(default_factory=list)
+
+    def add(
+        self,
+        key: str,
+        solver: str,
+        instance: ClassifierWorkload,
+        seed: Optional[int] = None,
+    ) -> str:
+        self.tasks.append(SolveTask(key=key, solver=solver, instance=instance, seed=seed))
+        return key
+
+    def run(self, parallel: Optional[ParallelConfig] = None) -> "BatchResults":
+        return BatchResults(run_tasks(self.tasks, parallel))
+
+
+class BatchResults:
+    """Keyed access to a batch's results (insertion order preserved)."""
+
+    def __init__(self, results: Sequence[TaskResult]) -> None:
+        self._by_key = {result.key: result for result in results}
+
+    def __getitem__(self, key: str) -> TaskResult:
+        return self._by_key[key]
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __iter__(self):
+        return iter(self._by_key.values())
+
+    def solution(self, key: str) -> Solution:
+        return self._by_key[key].solution
+
+    def seconds(self, key: str) -> float:
+        return self._by_key[key].seconds

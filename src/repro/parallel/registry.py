@@ -1,0 +1,157 @@
+"""The named-solver registry the task layer executes against.
+
+Tasks name solvers by string so they pickle cheaply across process
+boundaries and fingerprint stably into cache keys.  Every entry is a
+module-level callable with the uniform signature
+``solver(instance, seed, certify) -> Solution``; deterministic solvers
+ignore ``seed``, randomized ones must be pure functions of it (no shared
+RNG — that is what keeps out-of-order parallel execution bit-identical
+to the serial sweep).
+
+Figure code refers to these names; registering a new solver makes it
+available to every figure, to the corpus stress runner, and to the cache
+without further plumbing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.core.model import ClassifierWorkload
+from repro.core.solution import Solution
+
+SolverFn = Callable[[ClassifierWorkload, Optional[int], bool], Solution]
+
+_SOLVERS: Dict[str, SolverFn] = {}
+
+
+def register_solver(name: str) -> Callable[[SolverFn], SolverFn]:
+    """Register ``fn`` under ``name`` (also its cache-key identity)."""
+
+    def decorator(fn: SolverFn) -> SolverFn:
+        if name in _SOLVERS:
+            raise ValueError(f"solver {name!r} already registered")
+        _SOLVERS[name] = fn
+        return fn
+
+    return decorator
+
+
+def get_solver(name: str) -> SolverFn:
+    if name not in _SOLVERS:
+        raise KeyError(f"unknown solver {name!r}; known: {sorted(_SOLVERS)}")
+    return _SOLVERS[name]
+
+
+def solver_names() -> list:
+    return sorted(_SOLVERS)
+
+
+# ----------------------------------------------------------------------
+# default entries: the paper's algorithms and baselines
+# ----------------------------------------------------------------------
+
+@register_solver("abcc")
+def _abcc(instance, seed=None, certify=False):
+    from repro.algorithms import solve_bcc
+
+    return solve_bcc(instance, certify=certify)
+
+
+@register_solver("abcc-pruned")
+def _abcc_pruned(instance, seed=None, certify=False):
+    from repro.algorithms import AbccConfig, solve_bcc
+    from repro.algorithms.pruning import PruningConfig
+
+    return solve_bcc(instance, AbccConfig(pruning=PruningConfig.paper()), certify=certify)
+
+
+@register_solver("abcc-unpruned")
+def _abcc_unpruned(instance, seed=None, certify=False):
+    from repro.algorithms import AbccConfig, solve_bcc
+
+    return solve_bcc(instance, AbccConfig(pruning=None), certify=certify)
+
+
+@register_solver("bcc-exact")
+def _bcc_exact(instance, seed=None, certify=False):
+    from repro.algorithms import solve_bcc_exact
+
+    return solve_bcc_exact(instance, certify=certify)
+
+
+@register_solver("rand-bcc")
+def _rand_bcc(instance, seed=None, certify=False):
+    from repro.baselines import rand_bcc
+
+    return rand_bcc(instance, seed=0 if seed is None else seed, certify=certify)
+
+
+@register_solver("ig1-bcc")
+def _ig1_bcc(instance, seed=None, certify=False):
+    from repro.baselines import ig1_bcc
+
+    return ig1_bcc(instance, certify=certify)
+
+
+@register_solver("ig2-bcc")
+def _ig2_bcc(instance, seed=None, certify=False):
+    from repro.baselines import ig2_bcc
+
+    return ig2_bcc(instance, certify=certify)
+
+
+@register_solver("agmc3")
+def _agmc3(instance, seed=None, certify=False):
+    from repro.algorithms import solve_gmc3
+
+    return solve_gmc3(instance, certify=certify)
+
+
+@register_solver("rand-gmc3")
+def _rand_gmc3(instance, seed=None, certify=False):
+    from repro.baselines import rand_gmc3
+
+    return rand_gmc3(instance, seed=0 if seed is None else seed, certify=certify)
+
+
+@register_solver("ig1-gmc3")
+def _ig1_gmc3(instance, seed=None, certify=False):
+    from repro.baselines import ig1_gmc3
+
+    return ig1_gmc3(instance, certify=certify)
+
+
+@register_solver("ig2-gmc3")
+def _ig2_gmc3(instance, seed=None, certify=False):
+    from repro.baselines import ig2_gmc3
+
+    return ig2_gmc3(instance, certify=certify)
+
+
+@register_solver("aecc")
+def _aecc(instance, seed=None, certify=False):
+    from repro.algorithms import solve_ecc
+
+    return solve_ecc(instance, certify=certify)
+
+
+@register_solver("rand-ecc")
+def _rand_ecc(instance, seed=None, certify=False):
+    from repro.baselines import rand_ecc
+
+    return rand_ecc(instance, seed=0 if seed is None else seed, certify=certify)
+
+
+@register_solver("ig1-ecc")
+def _ig1_ecc(instance, seed=None, certify=False):
+    from repro.baselines import ig1_ecc
+
+    return ig1_ecc(instance, certify=certify)
+
+
+@register_solver("ig2-ecc")
+def _ig2_ecc(instance, seed=None, certify=False):
+    from repro.baselines import ig2_ecc
+
+    return ig2_ecc(instance, certify=certify)

@@ -95,6 +95,39 @@ def bcc_instances(
 
 
 @st.composite
+def reencoded_bcc_pairs(draw, max_queries: int = 5, max_length: int = 3):
+    """An instance plus a semantically identical re-encoding of it.
+
+    The twin differs only in representation: permuted query order,
+    shuffled utility/cost dict insertion order, and int-valued floats
+    re-expressed as ``int`` (``2.0`` → ``2``).  Canonical fingerprints
+    must treat the two as the same instance.
+    """
+    instance = draw(
+        bcc_instances(max_queries=max_queries, max_length=max_length, allow_inf_cost=False)
+    )
+
+    def requote(value: float) -> float:
+        if draw(st.booleans()) and float(value).is_integer() and abs(value) < 2**53:
+            return int(value)
+        return value
+
+    queries = draw(st.permutations(list(instance.queries)))
+    utilities = {q: requote(instance.utility(q)) for q in draw(st.permutations(queries))}
+    cost_items = draw(st.permutations(sorted(instance._costs.items(), key=repr)))
+    costs = {c: requote(cost) for c, cost in cost_items}
+    twin = instance.__class__(
+        list(queries),
+        utilities,
+        costs,
+        budget=requote(instance.budget),
+        default_utility=instance.default_utility,
+        default_cost=instance.default_cost,
+    )
+    return instance, twin
+
+
+@st.composite
 def solvable_instances(
     draw, max_queries: int = 6, max_length: int = 3, max_cost: int = 9
 ):

@@ -1,0 +1,452 @@
+"""Tests for the parallel execution layer (``repro.parallel``).
+
+The layer's contract has three legs, and each gets its own section here:
+
+1. **Bit-identical results** — every figure helper and the HkS portfolio
+   produce the same answers at ``jobs=1`` and ``jobs=4`` (same utilities,
+   costs, classifier sets and certificates), because tasks are pure
+   functions of their derived seeds and results reduce in task order.
+2. **Stable fingerprints** — the cache key is invariant under query
+   order, dict insertion order and float formatting, and distinct
+   instances never collide on the seeded corpus.
+3. **Deterministic caching** — a warm run replays the cold run byte for
+   byte (stored wall seconds included), hits re-certify, eviction is LRU,
+   and ``REPRO_CACHE=0`` switches the whole thing off.
+
+The heavyweight figure sweeps and the 3× stress run are marked ``slow``
+and excluded from the default pytest invocation; the CI ``slow`` leg
+runs them with ``-m slow``.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import BCCInstance
+from repro.dks import HksPortfolio
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.runner import FigureResult, averaged_random
+from repro.experiments.scales import MICRO
+from repro.graphs import WeightedGraph
+from repro.parallel import (
+    ParallelConfig,
+    ResultCache,
+    SolveTask,
+    TaskBatch,
+    corpus_figure,
+    corpus_tasks,
+    default_cache,
+    derive_rng,
+    instance_fingerprint,
+    pmap,
+    resolve_jobs,
+    run_tasks,
+    seed_for,
+    spawn_keys,
+    task_fingerprint,
+)
+from repro.parallel.cache import CACHE_VERSION
+from repro.qk import QKConfig, solve_qk, solve_qk_taylor
+from repro.verify.certificate import verify_solution
+from tests.strategies import bcc_instances, reencoded_bcc_pairs
+
+JOBS = 4
+
+
+# ---------------------------------------------------------------------------
+# Splittable seeding
+# ---------------------------------------------------------------------------
+
+
+class TestSeeding:
+    def test_pinned_values(self):
+        # Frozen forever: changing these silently re-seeds every cached
+        # and recorded randomized result in the repo.
+        assert seed_for("fig3a", 120.0, "RAND", 3) == 17009802019263918618
+        assert seed_for("corpus", "figure-1", "rand-bcc") == 13298288819621019598
+        assert seed_for() == 6030909613583296255
+
+    def test_deterministic_and_distinct(self):
+        keys = [
+            ("fig3a", 100.0, "RAND", 0),
+            ("fig3a", 100.0, "RAND", 1),
+            ("fig3a", 200.0, "RAND", 0),
+            ("fig3b", 100.0, "RAND", 0),
+            ("fig3a", 100.0, "IG1", 0),
+        ]
+        seeds = [seed_for(*key) for key in keys]
+        assert seeds == [seed_for(*key) for key in keys]
+        assert len(set(seeds)) == len(keys)
+
+    def test_type_tags_distinguish(self):
+        assert seed_for(2) != seed_for(2.0)
+        assert seed_for(True) != seed_for(1)
+        assert seed_for(None) != seed_for("None")
+        assert seed_for("ab") != seed_for("a", "b")
+
+    def test_frozenset_order_invariant(self):
+        assert seed_for(frozenset("abc")) == seed_for(frozenset("cba"))
+        assert seed_for(frozenset({1, 2, 3})) == seed_for(frozenset({3, 1, 2}))
+
+    def test_derive_rng_independent_streams(self):
+        a = derive_rng("task", 0).random()
+        b = derive_rng("task", 1).random()
+        assert a == derive_rng("task", 0).random()
+        assert a != b
+
+    def test_spawn_keys(self):
+        children = spawn_keys(("fig", 1), 3)
+        assert children == (("fig", 1, 0), ("fig", 1, 1), ("fig", 1, 2))
+        assert len({seed_for(*child) for child in children}) == 3
+
+
+# ---------------------------------------------------------------------------
+# Instance fingerprints
+# ---------------------------------------------------------------------------
+
+
+class TestFingerprint:
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(pair=reencoded_bcc_pairs())
+    def test_invariant_under_reencoding(self, pair):
+        instance, twin = pair
+        assert instance_fingerprint(instance) == instance_fingerprint(twin)
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(
+        instance=bcc_instances(allow_inf_cost=False),
+        delta=st.floats(0.5, 100.0, allow_nan=False),
+    )
+    def test_budget_change_changes_fingerprint(self, instance, delta):
+        shifted = BCCInstance(
+            list(instance.queries),
+            {q: instance.utility(q) for q in instance.queries},
+            dict(instance._costs),
+            budget=instance.budget + delta,
+            default_utility=instance.default_utility,
+            default_cost=instance.default_cost,
+        )
+        assert instance_fingerprint(instance) != instance_fingerprint(shifted)
+
+    def test_float_formatting_normalized(self):
+        q = frozenset({"a", "b"})
+        base = dict(queries=[q], default_utility=1.0, default_cost=1.0)
+        left = BCCInstance(utilities={q: 3}, costs={frozenset({"a"}): 2}, budget=5, **base)
+        right = BCCInstance(
+            utilities={q: 3.0}, costs={frozenset({"a"}): 2.0}, budget=5.0, **base
+        )
+        assert instance_fingerprint(left) == instance_fingerprint(right)
+
+    def test_no_collisions_on_seeded_corpus(self):
+        from repro.verify.corpus import corpus_cases
+
+        cases = list(corpus_cases(seeds=range(3)))
+        fingerprints = {instance_fingerprint(case.instance) for case in cases}
+        assert len(fingerprints) == len(cases)
+
+    def test_task_fingerprint_dimensions(self):
+        instance = BCCInstance([frozenset({"a"})], budget=1.0)
+        base = task_fingerprint(instance, "abcc", None)
+        assert base == task_fingerprint(instance, "abcc", None)
+        assert base != task_fingerprint(instance, "ig1-bcc", None)
+        assert base != task_fingerprint(instance, "abcc", 0)
+        assert task_fingerprint(instance, "abcc", 0) != task_fingerprint(instance, "abcc", 1)
+
+
+# ---------------------------------------------------------------------------
+# Result cache
+# ---------------------------------------------------------------------------
+
+
+def _tiny_instance() -> BCCInstance:
+    q1, q2 = frozenset({"a", "b"}), frozenset({"b", "c"})
+    return BCCInstance(
+        [q1, q2],
+        {q1: 5.0, q2: 3.0},
+        {frozenset({"b"}): 1.0, frozenset({"a", "b"}): 2.0},
+        budget=3.0,
+    )
+
+
+class TestResultCache:
+    def test_hit_round_trips_and_recertifies(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        instance = _tiny_instance()
+        task = SolveTask(key="t", solver="abcc", instance=instance)
+        cold = run_tasks([task], ParallelConfig(jobs=1, cache=cache))[0]
+        assert not cold.cached and cache.stats.misses == 1
+
+        warm = run_tasks([task], ParallelConfig(jobs=1, cache=cache, certify=True))[0]
+        assert warm.cached
+        assert warm.seconds == cold.seconds  # stored wall seconds replay
+        assert warm.solution.utility == cold.solution.utility
+        assert warm.solution.cost == cold.solution.cost
+        assert warm.solution.classifiers == cold.solution.classifiers
+        # The hit re-derives its certificate from scratch and it validates.
+        certificate = warm.solution.meta["certificate"]
+        reference = verify_solution(
+            instance, warm.solution, certificate=certificate, budget=instance.budget
+        )
+        assert certificate.to_json() == reference.to_json()
+
+    def test_certificates_never_stored(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        task = SolveTask(key="t", solver="abcc", instance=_tiny_instance(), certify=True)
+        run_tasks([task], ParallelConfig(jobs=1, cache=cache))
+        [entry] = tmp_path.glob("*.json")
+        assert "certificate" not in json.loads(entry.read_text())["solution"]["meta"]
+
+    def test_lru_eviction_drops_oldest(self, tmp_path):
+        import os
+
+        cache = ResultCache(directory=tmp_path, max_entries=2)
+        solution = run_tasks([SolveTask("t", "abcc", _tiny_instance())], None)[0].solution
+        cache.put("a" * 8, solution, 0.1)
+        cache.put("b" * 8, solution, 0.1)
+        os.utime(tmp_path / ("a" * 8 + ".json"), (1.0, 1.0))  # age entry "a"
+        cache.put("c" * 8, solution, 0.1)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.get("a" * 8) is None
+        assert cache.get("b" * 8) is not None
+        assert cache.get("c" * 8) is not None
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        solution = run_tasks([SolveTask("t", "abcc", _tiny_instance())], None)[0].solution
+        cache.put("deadbeef", solution, 0.5)
+        path = tmp_path / "deadbeef.json"
+        payload = json.loads(path.read_text())
+        payload["version"] = CACHE_VERSION + 1
+        path.write_text(json.dumps(payload))
+        assert cache.get("deadbeef") is None
+        assert cache.stats.misses == 1
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        (tmp_path / "deadbeef.json").write_text("{not json")
+        assert cache.get("deadbeef") is None
+        assert cache.stats.misses == 1
+
+    def test_default_cache_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert default_cache() is None
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "custom"))
+        cache = default_cache()
+        assert cache is not None and cache.directory == tmp_path / "custom"
+
+
+# ---------------------------------------------------------------------------
+# Pool mechanics
+# ---------------------------------------------------------------------------
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestPool:
+    def test_resolve_jobs(self, monkeypatch):
+        import os
+
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(10_000) == 64  # clamped to MAX_JOBS
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+        monkeypatch.setenv("REPRO_JOBS", "nope")
+        with pytest.raises(ValueError):
+            resolve_jobs(None)
+        with pytest.raises(ValueError):
+            resolve_jobs(-1)
+
+    def test_pmap_preserves_order(self):
+        items = list(range(20))
+        expected = [_square(x) for x in items]
+        assert pmap(_square, items, jobs=1) == expected
+        assert pmap(_square, items, jobs=2) == expected
+
+    def test_duplicate_task_keys_rejected(self):
+        task = SolveTask(key="same", solver="abcc", instance=_tiny_instance())
+        with pytest.raises(ValueError, match="duplicate task key"):
+            run_tasks([task, task], None)
+
+    def test_batch_results_keyed_access(self):
+        batch = TaskBatch()
+        batch.add("one", "abcc", _tiny_instance())
+        results = batch.run(None)
+        assert len(results) == 1
+        assert results.solution("one").utility == results["one"].solution.utility
+        assert results.seconds("one") >= 0.0
+
+
+# ---------------------------------------------------------------------------
+# Serial vs. parallel equality
+# ---------------------------------------------------------------------------
+
+
+def _comparable(result: FigureResult, include_values: bool = True) -> str:
+    """Canonical rows minus wall-clock; optionally minus the value column.
+
+    Timing-valued figures (3e, 4d) chart wall seconds, which legitimately
+    differ between runs — for those we still compare every solution,
+    extra and x/algorithm cell, just not the measured value.
+    """
+    if include_values:
+        return result.canonical(include_seconds=False)
+    stripped = FigureResult(
+        figure=result.figure,
+        title=result.title,
+        x_label=result.x_label,
+        value_label=result.value_label,
+        notes=list(result.notes),
+    )
+    for row in result.rows:
+        stripped.add(row.x, row.algorithm, 0.0, 0.0, **row.extra)
+    return stripped.canonical(include_seconds=False)
+
+
+#: Figures whose *value column* is a wall-clock measurement.
+_TIMING_FIGURES = frozenset({"fig3e", "fig4d"})
+
+#: Cheap-at-MICRO figures run in tier-1; the rest ride the slow CI leg.
+_FAST_FIGURES = frozenset({"fig3a", "fig3d", "fig4a", "fig4e"})
+
+_FIGURE_PARAMS = [
+    pytest.param(name, marks=[] if name in _FAST_FIGURES else [pytest.mark.slow])
+    for name in sorted(ALL_FIGURES)
+]
+
+
+class TestSerialParallelEquality:
+    @pytest.mark.parametrize("name", _FIGURE_PARAMS)
+    def test_figure_identical_across_jobs(self, name):
+        figure = ALL_FIGURES[name]
+        serial = figure(scale=MICRO, seed=0, parallel=ParallelConfig(jobs=1))
+        fanned = figure(scale=MICRO, seed=0, parallel=ParallelConfig(jobs=JOBS))
+        include_values = name not in _TIMING_FIGURES
+        assert _comparable(serial, include_values) == _comparable(fanned, include_values)
+
+    def test_corpus_tasks_identical_with_certificates(self):
+        tasks = corpus_tasks(seeds=range(1))
+        serial = run_tasks(tasks, ParallelConfig(jobs=1, certify=True))
+        fanned = run_tasks(tasks, ParallelConfig(jobs=JOBS, certify=True))
+        assert len(serial) == len(fanned) == len(tasks)
+        for task, left, right in zip(tasks, serial, fanned):
+            assert left.key == right.key == task.key
+            assert left.solution.utility == right.solution.utility
+            assert left.solution.cost == right.solution.cost
+            assert left.solution.classifiers == right.solution.classifiers
+            assert left.solution.covered == right.solution.covered
+            lcert = left.solution.meta["certificate"]
+            rcert = right.solution.meta["certificate"]
+            assert lcert.to_json() == rcert.to_json()
+            # Both certify from first principles against the instance.
+            verify_solution(task.instance, left.solution, certificate=lcert)
+
+    def test_portfolio_identical_across_jobs(self):
+        for seed in range(4):
+            graph = _random_graph(seed)
+            serial = HksPortfolio(seed=seed, jobs=1).solve(graph, 4)
+            fanned = HksPortfolio(seed=seed, jobs=JOBS).solve(graph, 4)
+            assert serial == fanned
+
+    def test_portfolio_identical_through_qk_paths(self):
+        graph = _random_graph(7, n=12)
+        heuristic_serial = solve_qk(graph, 6.0, QKConfig(hks=HksPortfolio(jobs=1)))
+        heuristic_fanned = solve_qk(graph, 6.0, QKConfig(hks=HksPortfolio(jobs=JOBS)))
+        assert heuristic_serial == heuristic_fanned
+        taylor_serial = solve_qk_taylor(graph, 6.0, dks=HksPortfolio(jobs=1))
+        taylor_fanned = solve_qk_taylor(graph, 6.0, dks=HksPortfolio(jobs=JOBS))
+        assert taylor_serial == taylor_fanned
+
+
+def _random_graph(seed: int, n: int = 10, p: float = 0.4) -> WeightedGraph:
+    rng = random.Random(seed)
+    graph = WeightedGraph()
+    for i in range(n):
+        graph.add_node(i, cost=1.0)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                graph.add_edge(i, j, float(rng.randint(1, 9)))
+    return graph
+
+
+# ---------------------------------------------------------------------------
+# averaged_random seeding
+# ---------------------------------------------------------------------------
+
+
+class _SeededValue:
+    """Picklable stand-in for a randomized baseline: pure function of seed."""
+
+    def __call__(self, seed: int):
+        from repro.core.solution import Solution
+
+        value = random.Random(seed).uniform(0.0, 100.0)
+        return Solution(
+            classifiers=frozenset(), covered=frozenset(), cost=0.0, utility=value
+        )
+
+
+class TestAveragedRandom:
+    def test_pins_historical_serial_mean(self):
+        # The historical behavior: trial i runs with seed i, mean in
+        # trial order.  The parallel rewrite must not move this number.
+        run = _SeededValue()
+        expected = sum(run(s).utility for s in range(5)) / 5
+        mean, seconds, last = averaged_random(run, repeats=5)
+        assert mean == expected
+        assert seconds >= 0.0
+        assert last.utility == run(4).utility
+
+    def test_parallel_matches_serial(self):
+        run = _SeededValue()
+        serial_mean, _, serial_last = averaged_random(run, repeats=6, jobs=1)
+        fanned_mean, _, fanned_last = averaged_random(run, repeats=6, jobs=2)
+        assert serial_mean == fanned_mean
+        assert serial_last.utility == fanned_last.utility
+
+    def test_rejects_bad_repeats(self):
+        with pytest.raises(ValueError):
+            averaged_random(_SeededValue(), repeats=0)
+
+
+# ---------------------------------------------------------------------------
+# Stress: repeated warm sweeps are byte-identical
+# ---------------------------------------------------------------------------
+
+
+class TestStress:
+    @pytest.mark.slow
+    def test_corpus_sweep_three_runs_byte_identical(self, tmp_path):
+        """The seed-stability referee: 3 runs, same seed, same bytes.
+
+        The first run executes cold (jobs=2) and populates the cache; the
+        stored wall seconds then replay on every warm run, so all three
+        ``FigureResult`` rows — seconds included — hash identically.
+        """
+        cache = ResultCache(directory=tmp_path)
+        config = ParallelConfig(jobs=2, cache=cache)
+        digests = [
+            corpus_figure(parallel=config, seeds=range(2)).digest(include_seconds=True)
+            for _ in range(3)
+        ]
+        assert digests[0] == digests[1] == digests[2]
+        assert cache.stats.hits > 0  # runs 2 and 3 came from the cache
+
+    def test_corpus_uncached_runs_agree_beyond_timing(self):
+        serial = corpus_figure(parallel=ParallelConfig(jobs=1), seeds=range(1))
+        fanned = corpus_figure(parallel=ParallelConfig(jobs=2), seeds=range(1))
+        assert serial.canonical(include_seconds=False) == fanned.canonical(
+            include_seconds=False
+        )
