@@ -1,0 +1,465 @@
+"""Sets-vs-bits benchmark for the bitset coverage kernels.
+
+Times the ``bits`` engine (workloads compiled to integer bitmasks, see
+``repro.core.bitset``) against the ``sets`` reference on the kernels the
+compilation rewrote, asserting identical answers everywhere:
+
+- ``micro.gain`` — the headline residual-gain kernel: repeated
+  ``ResidualProblem.evaluate_gain`` slates over the densest classifiers
+  of a dense workload (many queries per classifier), the shape the
+  A^BCC knapsack/QK candidate loops produce.  Probes are fully warmed
+  first so the timed region measures the checkpoint/add/rollback kernel,
+  not one-time index construction that both engines amortize in real
+  runs.
+- ``micro.ig2_score`` — ``uncovered_contained_utility`` sweeps over the
+  whole relevant pool (the IG2 selector's scoring loop).
+- ``micro.residual_cover`` — ``cheapest_residual_cover`` branch-and-bound
+  over figure-workload queries.
+- ``micro.covered_queries`` — the full-workload coverage check.
+- ``figure_run`` — the headline end-to-end arm: a full ``fig3c`` budget
+  sweep (RAND / IG1 / IG2 / A^BCC at four budgets plus the MC3
+  full-cover anchor) on a dense synthetic scale, byte-identical figure
+  rows asserted via ``FigureResult.digest``.
+- ``end_to_end`` — ``solve_bcc`` alone on the sparse figure-style
+  workload, identical solutions asserted per seed.  Recorded honestly:
+  this arm is dominated by the engine-independent QK/DkS machinery and
+  the bits engine does not beat the reference on it.
+
+Measurement methodology follows ``bench_coverage_engine``: process CPU
+seconds with the garbage collector disabled in timed regions, arms
+interleaved within every repeat, minimum over repeats reported.  All
+speedups are recorded as measured — including any kernel where the bits
+engine does not win.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_bitset.py [--quick]
+
+or through pytest (``pytest benchmarks/bench_bitset.py``), where the
+TINY scale maps to the quick spec.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import math
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.algorithms.bcc import AbccConfig, solve_bcc
+from repro.algorithms.residual import ResidualProblem
+from repro.core.bitset import use_engine
+from repro.core.coverage import CoverageTracker, covered_queries
+from repro.core.model import powerset_classifiers
+from repro.datasets.synthetic import generate_synthetic
+from repro.experiments.figures import fig3c
+from repro.experiments.scales import Scale
+from repro.mc3.greedy import cheapest_residual_cover
+from repro.qk import QKConfig
+
+RESULT_PATH = Path(__file__).parent / "BENCH_bitset.json"
+
+ENGINES = ("sets", "bits")
+
+QUICK_SPEC = {
+    "figure_run": {
+        "s_queries": 1000,
+        "s_properties": 60,
+        "seed": 0,
+        "rand_repeats": 2,
+        "repeats": 2,
+    },
+    "end_to_end": {
+        "n_queries": 300,
+        "n_properties": 240,
+        "budget": 600.0,
+        "seeds": [0, 1],
+        "repeats": 2,
+    },
+    # Dense micro workload: few properties, so each classifier is
+    # contained in many queries and gain probes touch long index rows.
+    "micro": {
+        "n_queries": 1200,
+        "n_properties": 60,
+        "budget": 400.0,
+        "seed": 0,
+        "pool": 80,
+        "slates": 20,
+        "slate_size": 12,
+        "passes": 2,
+        "repeats": 2,
+        "cover_queries": 120,
+    },
+}
+MEDIUM_SPEC = {
+    "figure_run": {
+        "s_queries": 4000,
+        "s_properties": 80,
+        "seed": 0,
+        "rand_repeats": 2,
+        "repeats": 2,
+    },
+    "end_to_end": {
+        "n_queries": 1500,
+        "n_properties": 950,
+        "budget": 2500.0,
+        "seeds": [0, 1, 2],
+        "repeats": 3,
+    },
+    "micro": {
+        "n_queries": 4000,
+        "n_properties": 80,
+        "budget": 400.0,
+        "seed": 0,
+        "pool": 120,
+        "slates": 50,
+        "slate_size": 16,
+        "passes": 6,
+        "repeats": 3,
+        "cover_queries": 250,
+    },
+}
+
+
+def _timed(fn):
+    """CPU-time ``fn()`` with the collector off; returns (result, seconds)."""
+    gc.collect()
+    gc.disable()
+    try:
+        started = time.process_time()
+        result = fn()
+        elapsed = time.process_time() - started
+    finally:
+        gc.enable()
+    return result, elapsed
+
+
+def _dense_instance(spec: dict):
+    return generate_synthetic(
+        n_queries=spec["n_queries"],
+        n_properties=spec["n_properties"],
+        budget=spec["budget"],
+        seed=spec["seed"],
+    )
+
+
+def _dense_pool(instance, size: int):
+    """The ``size`` classifiers contained in the most queries (canonical order)."""
+    relevant = sorted(instance.relevant_classifiers(), key=sorted)
+    return sorted(
+        relevant,
+        key=lambda c: (-len(instance.queries_containing(c)), sorted(c)),
+    )[:size]
+
+
+def _micro_arms(spec: dict) -> dict:
+    """Per-engine warmed state for the micro kernels.
+
+    Each engine gets its own freshly generated (hence freshly compiled)
+    instance; every probe is evaluated once before timing so both arms
+    enter the timed region with warm containing/cost indexes — exactly
+    the steady state the solvers run the kernels in.
+    """
+    arms = {}
+    for engine in ENGINES:
+        with use_engine(engine):
+            instance = _dense_instance(spec)
+            pool = _dense_pool(instance, spec["pool"])
+            rng = random.Random(spec["seed"])
+            slates = [
+                rng.sample(pool, spec["slate_size"]) for _ in range(spec["slates"])
+            ]
+            residual = ResidualProblem(instance)
+            residual.select(pool[:5])
+            for slate in slates:
+                residual.evaluate_gain(slate)
+            scored = sorted(instance.relevant_classifiers(), key=sorted)
+            for classifier in scored:
+                residual.tracker.uncovered_contained_utility(classifier)
+            arms[engine] = {
+                "instance": instance,
+                "residual": residual,
+                "slates": slates,
+                "scored": scored,
+            }
+    return arms
+
+
+def _kernel_section(spec: dict, arms: dict, run) -> dict:
+    """Time ``run(engine_state)`` per engine, interleaved, min over repeats.
+
+    Asserts the two engines return equal results on every repeat.
+    """
+    best = dict.fromkeys(ENGINES)
+    for _ in range(spec["repeats"]):
+        outputs = {}
+        for engine in ENGINES:
+            with use_engine(engine):
+                result, seconds = _timed(lambda: run(arms[engine]))
+            outputs[engine] = result
+            if best[engine] is None or seconds < best[engine]:
+                best[engine] = seconds
+        assert outputs["sets"] == outputs["bits"], "engines diverged"
+    return {
+        "sets_sec": best["sets"],
+        "bits_sec": best["bits"],
+        "speedup": best["sets"] / best["bits"] if best["bits"] > 0 else float("inf"),
+    }
+
+
+def _micro_bench(spec: dict) -> dict:
+    arms = _micro_arms(spec)
+    passes = range(spec["passes"])
+
+    def gain(state):
+        residual, slates = state["residual"], state["slates"]
+        results = None
+        for _ in passes:
+            results = [residual.evaluate_gain(slate) for slate in slates]
+        return results
+
+    def ig2_score(state):
+        tracker, scored = state["residual"].tracker, state["scored"]
+        return [tracker.uncovered_contained_utility(c) for c in scored]
+
+    section = {
+        "workload": {
+            k: spec[k] for k in ("n_queries", "n_properties", "budget", "seed")
+        },
+        "gain": {
+            "slates": spec["slates"],
+            "slate_size": spec["slate_size"],
+            "passes": spec["passes"],
+            **_kernel_section(spec, arms, gain),
+        },
+        "ig2_score": {
+            "pool": len(arms["sets"]["scored"]),
+            **_kernel_section(spec, arms, ig2_score),
+        },
+    }
+
+    # Branch-and-bound covers and the full-workload coverage check run on
+    # the figure-shaped instance (more properties, shorter index rows).
+    cover_arms = {}
+    for engine in ENGINES:
+        with use_engine(engine):
+            instance = generate_synthetic(
+                n_queries=300, n_properties=240, budget=600.0, seed=spec["seed"]
+            )
+            queries = sorted(instance.queries, key=sorted)[: spec["cover_queries"]]
+            candidates = {
+                q: [
+                    (c, instance.cost(c))
+                    for c in powerset_classifiers(q)
+                    if not math.isinf(instance.cost(c))
+                ]
+                for q in queries
+            }
+            chosen = _dense_pool(instance, 40)
+            covered_queries(instance, chosen)  # warm the containing index
+            cover_arms[engine] = {
+                "instance": instance,
+                "queries": queries,
+                "candidates": candidates,
+                "chosen": chosen,
+            }
+
+    def residual_cover(state):
+        candidates = state["candidates"]
+        return [
+            cheapest_residual_cover(q, candidates[q], set())
+            for q in state["queries"]
+        ]
+
+    def coverage_check(state):
+        return covered_queries(state["instance"], state["chosen"])
+
+    section["residual_cover"] = {
+        "queries": spec["cover_queries"],
+        **_kernel_section(spec, cover_arms, residual_cover),
+    }
+    section["covered_queries"] = _kernel_section(spec, cover_arms, coverage_check)
+    return section
+
+
+def _e2e_single(spec: dict, seed: int, engine: str) -> dict:
+    """One ``solve_bcc`` run under ``engine`` on a fresh instance."""
+    with use_engine(engine):
+        instance = generate_synthetic(
+            n_queries=spec["n_queries"],
+            n_properties=spec["n_properties"],
+            budget=spec["budget"],
+            seed=seed,
+        )
+        constructed_before = CoverageTracker.constructed
+        solution, elapsed = _timed(
+            lambda: solve_bcc(instance, AbccConfig(qk=QKConfig(rounds=2)))
+        )
+    return {
+        "seed": seed,
+        "utility": solution.utility,
+        "cost": solution.cost,
+        "classifiers": solution.classifiers,
+        "seconds": elapsed,
+        "trackers_constructed": CoverageTracker.constructed - constructed_before,
+        "kernel": solution.meta["engine"]["kernel"],
+    }
+
+
+def _e2e_bench(spec: dict) -> dict:
+    runs = {engine: [] for engine in ENGINES}
+    for seed in spec["seeds"]:
+        best = dict.fromkeys(ENGINES)
+        for _ in range(spec["repeats"]):
+            for engine in ENGINES:
+                run = _e2e_single(spec, seed, engine)
+                if best[engine] is None or run["seconds"] < best[engine]["seconds"]:
+                    best[engine] = run
+        for left, right in zip(ENGINES, ENGINES[1:]):
+            assert best[left]["classifiers"] == best[right]["classifiers"], (
+                f"seed {seed}: {left} and {right} selected different classifiers"
+            )
+            assert best[left]["utility"] == best[right]["utility"]
+            assert best[left]["cost"] == best[right]["cost"]
+        for engine in ENGINES:
+            record = dict(best[engine])
+            record["classifiers"] = len(record.pop("classifiers"))
+            runs[engine].append(record)
+    totals = {
+        engine: sum(r["seconds"] for r in runs[engine]) for engine in ENGINES
+    }
+    return {
+        "workload": {k: spec[k] for k in ("n_queries", "n_properties", "budget")},
+        "seeds": list(spec["seeds"]),
+        "repeats": spec["repeats"],
+        "runs": runs,
+        "sets_total_sec": totals["sets"],
+        "bits_total_sec": totals["bits"],
+        "speedup": (
+            totals["sets"] / totals["bits"] if totals["bits"] > 0 else float("inf")
+        ),
+        "identical_solutions": True,
+    }
+
+
+def _figure_bench(spec: dict) -> dict:
+    """A complete figure-3c budget sweep per engine, byte-identity asserted.
+
+    The sweep is the paper's utility-vs-budget experiment: four budget
+    fractions x (RAND trials, IG1, IG2, A^BCC) plus the MC3 full-cover
+    cost anchor, on a dense synthetic scale where classifiers sit in long
+    inverted-index rows.  Engines are interleaved within each repeat and
+    the minimum CPU total is reported; ``FigureResult.digest`` (timings
+    excluded) must agree between the engines on every repeat.
+    """
+    scale = Scale(
+        name="bench-dense",
+        bb_queries=60,
+        bb_properties=80,
+        p_queries=80,
+        p_properties=130,
+        s_queries=spec["s_queries"],
+        s_properties=spec["s_properties"],
+        sweep_sizes=(60,),
+        rand_repeats=spec["rand_repeats"],
+    )
+    best = dict.fromkeys(ENGINES)
+    for _ in range(spec["repeats"]):
+        digests = {}
+        for engine in ENGINES:
+            with use_engine(engine):
+                result, seconds = _timed(lambda: fig3c(scale, seed=spec["seed"]))
+            digests[engine] = result.digest(include_seconds=False)
+            if best[engine] is None or seconds < best[engine]:
+                best[engine] = seconds
+        assert digests["sets"] == digests["bits"], "figure rows diverged"
+    return {
+        "figure": "fig3c",
+        "scale": {
+            "s_queries": spec["s_queries"],
+            "s_properties": spec["s_properties"],
+            "rand_repeats": spec["rand_repeats"],
+        },
+        "seed": spec["seed"],
+        "repeats": spec["repeats"],
+        "sets_sec": best["sets"],
+        "bits_sec": best["bits"],
+        "speedup": best["sets"] / best["bits"] if best["bits"] > 0 else float("inf"),
+        "identical_rows": True,
+    }
+
+
+def run_bench(spec: dict) -> dict:
+    return {
+        "timer": "process_time, gc disabled (CPU seconds, min over repeats)",
+        "micro": _micro_bench(spec["micro"]),
+        "figure_run": _figure_bench(spec["figure_run"]),
+        "end_to_end": _e2e_bench(spec["end_to_end"]),
+    }
+
+
+def write_result(result: dict, path: Path = RESULT_PATH) -> None:
+    path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+
+def test_bitset_kernels(benchmark, scale):
+    """Pytest entry: quick spec at tiny scale, medium otherwise.
+
+    Asserts answer identity (the `_kernel_section` / `_e2e_bench`
+    assertions), not speedups — CI machines are too noisy to gate on
+    ratios; the recorded JSON is the performance artifact.
+    """
+    from conftest import run_once
+
+    spec = QUICK_SPEC if scale.name == "tiny" else MEDIUM_SPEC
+    result = run_once(benchmark, run_bench, spec=spec)
+    assert result["end_to_end"]["identical_solutions"]
+    assert result["figure_run"]["identical_rows"]
+    write_result(result)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small workload (CI smoke mode)"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=RESULT_PATH, help="result JSON path"
+    )
+    args = parser.parse_args(argv)
+    spec = QUICK_SPEC if args.quick else MEDIUM_SPEC
+    result = run_bench(spec)
+    write_result(result, args.out)
+    micro = result["micro"]
+    e2e = result["end_to_end"]
+    fig = result["figure_run"]
+    for name in ("gain", "ig2_score", "residual_cover", "covered_queries"):
+        entry = micro[name]
+        print(
+            f"micro.{name}: sets {entry['sets_sec']:.3f}s -> "
+            f"bits {entry['bits_sec']:.3f}s ({entry['speedup']:.2f}x)"
+        )
+    print(
+        f"{fig['figure']} {fig['scale']['s_queries']}q/"
+        f"{fig['scale']['s_properties']}p sweep: "
+        f"sets {fig['sets_sec']:.2f}s -> bits {fig['bits_sec']:.2f}s "
+        f"({fig['speedup']:.2f}x), identical figure rows"
+    )
+    print(
+        f"solve_bcc {e2e['workload']['n_queries']}q/"
+        f"{e2e['workload']['n_properties']}p x {len(e2e['seeds'])} seeds: "
+        f"sets {e2e['sets_total_sec']:.2f}s -> bits {e2e['bits_total_sec']:.2f}s "
+        f"({e2e['speedup']:.2f}x), identical solutions"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,6 +24,7 @@ from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.algorithms.pruning import PruningConfig, prune_classifiers, prune_qk_graph
 from repro.algorithms.residual import ResidualProblem
+from repro.core.bitset import active_engine
 from repro.core.model import BCCInstance, Classifier, Query
 from repro.core.solution import Solution, evaluate
 from repro.knapsack.solvers import solve_knapsack
@@ -138,6 +139,7 @@ def _cover_greedy_pick(
     from repro.mc3.greedy import cheapest_residual_cover
 
     workload = residual.workload
+    compiled = workload.compiled() if active_engine() == "bits" else None
     picked: Set[Classifier] = set()
     covered_props: Dict[Query, Set[str]] = {
         q: set(q) - set(residual.missing(q)) for q in residual.uncovered_queries()
@@ -151,7 +153,7 @@ def _cover_greedy_pick(
                 candidates.append((classifier, 0.0))
             elif residual.usable(classifier, budget):
                 candidates.append((classifier, workload.cost(classifier)))
-        return cheapest_residual_cover(query, candidates, covered_props[query])
+        return cheapest_residual_cover(query, candidates, covered_props[query], compiled)
 
     def ratio_of(query, cost: float) -> float:
         return -math.inf if cost <= 0 else -workload.utility(query) / cost
@@ -237,7 +239,10 @@ def _swap_polish(
     tests run off a contributor map (the selected subsets of each affected
     query, maintained across accepted swaps) instead of re-enumerating
     ``2^q`` per trial, and the running spend is maintained incrementally
-    by the tracker.
+    by the tracker.  Under the ``bits`` engine the per-query coverage
+    test runs on int masks from the compiled workload; affected-query
+    utility deltas accumulate in workload order under both engines, so
+    the engines accept identical swap sequences.
     """
     from repro.core.coverage import CoverageTracker
 
@@ -250,7 +255,9 @@ def _swap_polish(
         for query in instance.queries_containing(classifier):
             contributors.setdefault(query, set()).add(classifier)
 
-    def covered_after(
+    compiled = instance.compiled() if active_engine() == "bits" else None
+
+    def covered_after_sets(
         query: Query, out: Optional[Classifier], incoming: Optional[Classifier]
     ) -> bool:
         """Coverage of ``(current - {out}) | {incoming}`` restricted to ``query``."""
@@ -267,12 +274,41 @@ def _swap_polish(
                     return True
         return False
 
-    def swap_delta(out: Optional[Classifier], incoming: Classifier) -> float:
-        affected = set(instance.queries_containing(incoming))
+    def covered_after_bits(
+        query: Query, out: Optional[Classifier], incoming: Optional[Classifier]
+    ) -> bool:
+        qmask = compiled.query_masks[compiled.query_pos[query]]
+        union = 0
+        if incoming is not None:
+            mask = compiled.mask_of(incoming)
+            if mask is not None and not mask & ~qmask:
+                union = mask
+                if not qmask & ~union:
+                    return True
+        for c in contributors.get(query, ()):
+            if c != out:
+                union |= compiled.mask_of(c)
+                if not qmask & ~union:
+                    return True
+        return False
+
+    covered_after = covered_after_bits if compiled is not None else covered_after_sets
+
+    def affected_queries(
+        out: Optional[Classifier], incoming: Classifier
+    ) -> List[Query]:
+        """Queries either classifier touches, in workload order, deduped."""
+        affected = list(instance.queries_containing(incoming))
         if out is not None:
-            affected |= set(instance.queries_containing(out))
+            seen = set(affected)
+            for query in instance.queries_containing(out):
+                if query not in seen:
+                    affected.append(query)
+        return affected
+
+    def swap_delta(out: Optional[Classifier], incoming: Classifier) -> float:
         delta = 0.0
-        for query in affected:
+        for query in affected_queries(out, incoming):
             before = tracker.is_query_covered(query)
             after = covered_after(query, out, incoming)
             if before != after:
@@ -469,6 +505,7 @@ def solve_bcc(
             "allowed_classifiers": len(allowed),
             "runtime_sec": time.perf_counter() - started,
             "engine": {
+                "kernel": residual.tracker.engine_name,
                 "rebuilds_avoided": residual.stats["rebuilds_avoided"],
                 "resets": residual.stats["resets"],
                 "rollbacks": residual.tracker.rollbacks,

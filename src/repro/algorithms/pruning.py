@@ -71,6 +71,9 @@ def prune_classifiers(
     rule with small-budget protection.
     """
     config = config or PruningConfig()
+    from repro.core.bitset import active_engine
+
+    compiled = workload.compiled() if active_engine() == "bits" else None
     relevant = workload.relevant_classifiers()
     allowed: Set[Classifier] = {
         c
@@ -91,7 +94,7 @@ def prune_classifiers(
             for c in powerset_classifiers(classifier)
             if len(c) < len(classifier) and c in allowed and c not in pruned
         ]
-        found = cheapest_residual_cover(classifier, shorter, set())
+        found = cheapest_residual_cover(classifier, shorter, set(), compiled)
         if found is None:
             continue
         replacement_cost, _ = found
@@ -108,7 +111,7 @@ def prune_classifiers(
         candidates = [
             (c, workload.cost(c)) for c in powerset_classifiers(query) if c in retained
         ]
-        found = cheapest_residual_cover(query, candidates, set())
+        found = cheapest_residual_cover(query, candidates, set(), compiled)
         if found is None or found[0] > budget + 1e-9:
             for c in powerset_classifiers(query):
                 if c in pruned:

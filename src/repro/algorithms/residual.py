@@ -25,6 +25,7 @@ import itertools
 import math
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.core.bitset import active_engine
 from repro.core.coverage import CoverageTracker
 from repro.core.model import Classifier, ClassifierWorkload, Query, powerset_classifiers
 from repro.graphs.graph import WeightedGraph
@@ -154,6 +155,8 @@ class ResidualProblem:
         with nothing selected this is exactly Observation 4.4's graph.
         """
         graph = WeightedGraph()
+        bits = active_engine() == "bits"
+        compiled = self.workload.compiled() if bits else None
         for query in self.uncovered_queries():
             if max_query_length is not None and len(query) > max_query_length:
                 continue
@@ -161,6 +164,26 @@ class ResidualProblem:
             if len(missing) < 2:
                 continue  # 1-coverable; BCC(1) owns it
             utility = self.workload.utility(query)
+            if bits:
+                # Same candidate order as the set reference; only the
+                # intersection/subset tests run on masks.
+                mmask = compiled.mask_of(missing)
+                pairs = [
+                    (c, compiled.mask_of(c))
+                    for c in self._query_candidates(query, budget)
+                ]
+                pairs = [
+                    (c, m)
+                    for c, m in pairs
+                    if m & mmask and mmask & ~m
+                ]
+                for (a, amask), (b, bmask) in itertools.combinations(pairs, 2):
+                    if not mmask & ~(amask | bmask):
+                        for node in (a, b):
+                            if node not in graph:
+                                graph.add_node(node, self.workload.cost(node))
+                        graph.add_edge(a, b, utility)
+                continue
             candidates = [
                 c
                 for c in self._query_candidates(query, budget)
@@ -178,17 +201,14 @@ class ResidualProblem:
     def evaluate_gain(self, classifiers: Iterable[Classifier]) -> Tuple[float, float]:
         """True (utility gain, cost) of adding ``classifiers`` — no side effects.
 
-        Runs against the live tracker under a checkpoint and rolls back,
-        so the cost is proportional to the trial addition rather than to a
-        full coverage rebuild of the current selection.
+        Runs the tracker's read-only ``probe_gain`` kernel: missing-set
+        deltas are applied and replayed back in place, so the cost is
+        proportional to the trial addition rather than to a full coverage
+        rebuild of the current selection.
         """
         addition = [c for c in classifiers if not self.tracker.is_selected(c)]
         cost = sum(self.workload.cost(c) for c in addition)
-        before = self.tracker.utility
-        self.tracker.checkpoint()
-        self.tracker.add_all(addition)
-        gain = self.tracker.utility - before
-        self.tracker.rollback()
+        gain = self.tracker.probe_gain(addition)
         self.stats["rebuilds_avoided"] += 1
         return gain, cost
 

@@ -172,6 +172,12 @@ class ClassifierWorkload:
             if not math.isinf(self.cost(classifier)):
                 yield classifier
 
+    def compiled(self) -> "CompiledWorkload":
+        """The memoized bitmask view of this workload (``bits`` engine)."""
+        from repro.core.bitset import compile_workload
+
+        return compile_workload(self)
+
     def queries_containing(self, properties: PropertySet) -> Sequence[Query]:
         """Queries that are supersets of ``properties`` (candidate beneficiaries).
 
@@ -179,10 +185,27 @@ class ClassifierWorkload:
         on every add/remove/rollback, and the classifier→query index turns
         those calls into dictionary lookups after the first one.  The
         returned tuple is shared — iterate it, do not mutate.
+
+        Only non-empty results are memoized.  A non-empty result means
+        ``properties`` is a subset of some query, i.e. a relevant
+        classifier, so the cache can never grow beyond ``|CL|`` entries
+        no matter what callers probe; irrelevant probes (empty result)
+        are recomputed, which is cheap through the rarest-property list.
         """
         cached = self._containing_cache.get(properties)
         if cached is not None:
             return cached
+        from repro.core.bitset import active_engine
+
+        if active_engine() == "bits":
+            compiled = self.compiled()
+            mask = compiled.mask_of(properties)
+            if not mask:
+                return ()
+            result = tuple(compiled.queries[i] for i in compiled.containing(mask))
+            if result:
+                self._containing_cache[properties] = result
+            return result
         if self._property_index is None:
             index: Dict[str, List[Query]] = {}
             for query in self.queries:
@@ -191,7 +214,8 @@ class ClassifierWorkload:
             self._property_index = index
         rarest = min(properties, key=lambda p: len(self._property_index.get(p, [])))
         result = tuple(q for q in self._property_index.get(rarest, []) if properties <= q)
-        self._containing_cache[properties] = result
+        if result:
+            self._containing_cache[properties] = result
         return result
 
     def _classifier_index_map(self) -> Dict[str, List[Classifier]]:
@@ -231,6 +255,19 @@ class ClassifierWorkload:
                             if classifier in pool_set and classifier <= query:
                                 result.append(classifier)
                 return result
+        from repro.core.bitset import active_engine
+
+        if active_engine() == "bits":
+            compiled = self.compiled()
+            qmask = compiled.mask_of(query)
+            if qmask is not None:
+                mask_of = compiled.mask_of
+                masked: List[Classifier] = []
+                for classifier in pool_set:
+                    cmask = mask_of(classifier)
+                    if cmask is not None and not cmask & ~qmask:
+                        masked.append(classifier)
+                return masked
         return [c for c in pool_set if c <= query]
 
     def length_histogram(self) -> Counter:

@@ -10,7 +10,7 @@ from __future__ import annotations
 import random
 from typing import FrozenSet, Optional
 
-from repro.graphs.graph import Node, WeightedGraph
+from repro.graphs.graph import Node, WeightedGraph, node_repr
 
 
 def solve_expansion(
@@ -37,7 +37,7 @@ def solve_expansion(
     if k == 1:
         # A single node induces no edges; pick the max-degree node anyway so
         # downstream local search has a sensible start.
-        top = max(nodes, key=lambda u: (graph.weighted_degree(u), repr(u)))
+        top = max(nodes, key=lambda u: (graph.weighted_degree(u), node_repr(u)))
         return frozenset({top})
 
     selected = set(best_edge)
@@ -51,12 +51,12 @@ def solve_expansion(
     while len(selected) < k:
         if gain:
             candidate = max(
-                gain, key=lambda u: (gain[u], graph.weighted_degree(u), repr(u))
+                gain, key=lambda u: (gain[u], graph.weighted_degree(u), node_repr(u))
             )
         else:
             outside = [u for u in nodes if u not in selected]
             candidate = max(
-                outside, key=lambda u: (graph.weighted_degree(u), repr(u))
+                outside, key=lambda u: (graph.weighted_degree(u), node_repr(u))
             )
         selected.add(candidate)
         gain.pop(candidate, None)

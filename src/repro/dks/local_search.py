@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable
 
-from repro.graphs.graph import Node, WeightedGraph
+from repro.graphs.graph import Node, WeightedGraph, node_repr
 
 
 def improve_by_swaps(
@@ -27,7 +27,7 @@ def improve_by_swaps(
 
     for _ in range(max_passes):
         worst = min(
-            selected, key=lambda u: (inside_degree[u], repr(u))
+            selected, key=lambda u: (inside_degree[u], node_repr(u))
         )
         # Gain of bringing v in after removing `worst`: its degree into the
         # selection minus any edge it has to `worst` (which leaves).

@@ -15,7 +15,7 @@ import heapq
 import random
 from typing import FrozenSet, Optional
 
-from repro.graphs.graph import Node, WeightedGraph
+from repro.graphs.graph import Node, WeightedGraph, node_repr
 
 
 def solve_peeling(
@@ -29,7 +29,7 @@ def solve_peeling(
         return frozenset(alive)
 
     degree = {u: graph.weighted_degree(u) for u in alive}
-    heap = [(d, repr(u), u) for u, d in degree.items()]
+    heap = [(d, node_repr(u), u) for u, d in degree.items()]
     heapq.heapify(heap)
 
     while len(alive) > k:
@@ -40,5 +40,5 @@ def solve_peeling(
         for v, w in graph.neighbors(u).items():
             if v in alive:
                 degree[v] -= w
-                heapq.heappush(heap, (degree[v], repr(v), v))
+                heapq.heappush(heap, (degree[v], node_repr(v), v))
     return frozenset(alive)

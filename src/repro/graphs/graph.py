@@ -7,10 +7,35 @@ singleton classifiers with costs, edges are length-2 queries with utilities.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, Optional, Tuple
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
 
 Node = Hashable
 Edge = Tuple[Node, Node]
+
+
+#: Memoized canonical orientations.  Blow-up copy nodes compare via the
+#: ``repr`` fallback (a ``TypeError`` raise plus two reprs per call), and
+#: the DkS loops sweep the same graphs many times, so the pair → key map
+#: pays for itself quickly.  Bounded by a wholesale clear.
+_KEY_CACHE: Dict[Tuple[Node, Node], Edge] = {}
+
+
+#: Memoized node reprs.  QK/DkS heuristics break float ties by ``repr``
+#: so selections are deterministic across hash seeds; heap pushing and
+#: greedy sweeps request the same node strings millions of times per
+#: solve, so the string is computed once per node.  Bounded by a
+#: wholesale clear.
+_REPR_CACHE: Dict[Node, str] = {}
+
+
+def node_repr(v: Node) -> str:
+    """Memoized ``repr(v)`` for deterministic tiebreaks in hot loops."""
+    cached = _REPR_CACHE.get(v)
+    if cached is None:
+        if len(_REPR_CACHE) > 1_000_000:
+            _REPR_CACHE.clear()
+        cached = _REPR_CACHE[v] = repr(v)
+    return cached
 
 
 def edge_key(u: Node, v: Node) -> Edge:
@@ -19,12 +44,19 @@ def edge_key(u: Node, v: Node) -> Edge:
     Nodes of mixed, non-comparable types are ordered by ``repr`` as a
     deterministic tiebreak.
     """
+    key = _KEY_CACHE.get((u, v))
+    if key is not None:
+        return key
     if u == v:
         raise ValueError(f"self-loops are not allowed: {u!r}")
     try:
-        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+        key = (u, v) if u <= v else (v, u)  # type: ignore[operator]
     except TypeError:
-        return (u, v) if repr(u) <= repr(v) else (v, u)
+        key = (u, v) if repr(u) <= repr(v) else (v, u)
+    if len(_KEY_CACHE) > 1_000_000:
+        _KEY_CACHE.clear()
+    _KEY_CACHE[(u, v)] = key
+    return key
 
 
 class WeightedGraph:
@@ -38,6 +70,10 @@ class WeightedGraph:
     def __init__(self) -> None:
         self._cost: Dict[Node, float] = {}
         self._adj: Dict[Node, Dict[Node, float]] = {}
+        # Cached edges() snapshot; dropped whenever the edge set changes.
+        self._edge_list: Optional[List[Tuple[Node, Node, float]]] = None
+        # Cached total weighted degrees; entries drop on incident change.
+        self._wdeg: Dict[Node, float] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -63,13 +99,19 @@ class WeightedGraph:
                 self.add_node(node)
         self._adj[u][v] = self._adj[u].get(v, 0.0) + float(weight)
         self._adj[v][u] = self._adj[v].get(u, 0.0) + float(weight)
+        self._edge_list = None
+        self._wdeg.pop(u, None)
+        self._wdeg.pop(v, None)
 
     def remove_node(self, node: Node) -> None:
         """Remove ``node`` and all incident edges."""
         for neighbor in list(self._adj[node]):
             del self._adj[neighbor][node]
+            self._wdeg.pop(neighbor, None)
         del self._adj[node]
         del self._cost[node]
+        self._edge_list = None
+        self._wdeg.pop(node, None)
 
     def copy(self) -> "WeightedGraph":
         """Deep copy (costs and adjacency are independent of the original)."""
@@ -117,14 +159,26 @@ class WeightedGraph:
         return self._adj[u][v]
 
     def edges(self) -> Iterator[Tuple[Node, Node, float]]:
-        """Iterate each undirected edge once as ``(u, v, weight)``."""
-        seen = set()
-        for u, nbrs in self._adj.items():
-            for v, w in nbrs.items():
-                key = edge_key(u, v)
-                if key not in seen:
-                    seen.add(key)
-                    yield key[0], key[1], w
+        """Iterate each undirected edge once as ``(u, v, weight)``.
+
+        Each edge appears at its first directed encounter (the node whose
+        adjacency row comes first), canonically oriented — the same
+        sequence the historical seen-set produced.  The snapshot is
+        cached until the edge set changes, so repeated full sweeps (the
+        DkS inner loops) skip the :func:`edge_key` canonicalization.
+        """
+        cached = self._edge_list
+        if cached is None:
+            cached = []
+            visited = set()
+            for u, nbrs in self._adj.items():
+                visited.add(u)
+                for v, w in nbrs.items():
+                    if v not in visited:
+                        key = edge_key(u, v)
+                        cached.append((key[0], key[1], w))
+            self._edge_list = cached
+        return iter(cached)
 
     def num_edges(self) -> int:
         """Number of undirected edges."""
@@ -135,10 +189,18 @@ class WeightedGraph:
         return len(self._adj[node])
 
     def weighted_degree(self, node: Node, within: Optional[set] = None) -> float:
-        """Sum of incident edge weights, optionally restricted to ``within``."""
+        """Sum of incident edge weights, optionally restricted to ``within``.
+
+        The unrestricted total is cached per node (the DkS heuristics ask
+        for it inside tiebreak keys, millions of times per solve on a
+        graph that never changes mid-solve).
+        """
         nbrs = self._adj[node]
         if within is None:
-            return sum(nbrs.values())
+            total = self._wdeg.get(node)
+            if total is None:
+                total = self._wdeg[node] = sum(nbrs.values())
+            return total
         return sum(w for v, w in nbrs.items() if v in within)
 
     # ------------------------------------------------------------------

@@ -44,10 +44,9 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 from repro.dks.portfolio import HksPortfolio
 from repro.graphs.bipartite import bipartition_rounds, random_bipartition
 from repro.graphs.blowup import BlowupGraph
-from repro.graphs.graph import Node, WeightedGraph
+from repro.graphs.graph import Node, WeightedGraph, node_repr as _node_repr
 
 _BONUS_NODE = ("__bonus__",)
-
 
 @dataclass
 class QKConfig:
@@ -180,7 +179,7 @@ def _refill_side(
         return
     ranked = sorted(
         side_nodes,
-        key=lambda u: (-_per_copy_degree(scaled, u, other_counts), repr(u)),
+        key=lambda u: (-_per_copy_degree(scaled, u, other_counts), _node_repr(u)),
     )
     for u in side_nodes:
         counts[u] = 0
@@ -242,7 +241,7 @@ def _core_candidates(
             # richer-degree first; also consider each completion separately
             # and (case II) the partial pair alone.
             partial.sort(
-                key=lambda u: (-_per_copy_degree(split.graph, u, counts), repr(u))
+                key=lambda u: (-_per_copy_degree(split.graph, u, counts), _node_repr(u))
             )
             budget_left = leftover
             completed = set(full)
@@ -294,7 +293,7 @@ def _greedy_fill(
             return
         cost = graph.cost(v)
         ratio = g / cost if cost > 0 else math.inf
-        heapq.heappush(heap, (-ratio, 1, repr(v), "n", v, g))
+        heapq.heappush(heap, (-ratio, 1, _node_repr(v), "n", v, g))
 
     def push_edge(u: Node, v: Node) -> None:
         if u in selection or v in selection:
@@ -304,7 +303,7 @@ def _greedy_fill(
             return
         cost = graph.cost(u) + graph.cost(v)
         ratio = g / cost if cost > 0 else math.inf
-        heapq.heappush(heap, (-ratio, 0, repr(u) + repr(v), "e", (u, v), g))
+        heapq.heappush(heap, (-ratio, 0, _node_repr(u) + _node_repr(v), "e", (u, v), g))
 
     for v in gain:
         push_node(v)
@@ -431,7 +430,7 @@ def solve_qk(
     # Expensive pairs (an optimal solution has at most two expensive nodes,
     # and with two of them it has nothing else).
     ranked_expensive = sorted(
-        expensive, key=lambda v: (-work.weighted_degree(v), repr(v))
+        expensive, key=lambda v: (-work.weighted_degree(v), _node_repr(v))
     )
     pair_pool = ranked_expensive[: max(2, int(math.isqrt(config.max_expensive_pairs * 2)))]
     pairs_tried = 0

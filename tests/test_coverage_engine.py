@@ -233,14 +233,14 @@ class TestCoverGreedyParking:
         real_oracle = greedy_module.cheapest_residual_cover
         long_query_calls = {"count": 0}
 
-        def staged_oracle(query, candidates, covered_props):
+        def staged_oracle(query, candidates, covered_props, compiled=None):
             if query == q_long:
                 long_query_calls["count"] += 1
                 if long_query_calls["count"] <= 2:
                     # Heap build + first pop: overestimate, so the entry is
                     # popped as unaffordable (100 > budget) and parked.
                     return 100.0, frozenset({fs("a"), fs("c"), fs("d")})
-            return real_oracle(query, candidates, covered_props)
+            return real_oracle(query, candidates, covered_props, compiled)
 
         monkeypatch.setattr(
             greedy_module, "cheapest_residual_cover", staged_oracle
