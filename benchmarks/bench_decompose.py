@@ -1,0 +1,249 @@
+"""Benchmark for the workload decomposition engine on a fragmented corpus.
+
+Arms, all solving the same fragmented workload (disjoint topical
+components, ≥8 by construction):
+
+- **monolithic**: plain ``solve_bcc`` on the whole instance — the
+  reference wall-clock and the reference utility;
+- **sharded cold**: ``solve_bcc_sharded`` at ``jobs=4`` into an empty
+  shard cache — decompose, fan out, recombine from scratch;
+- **re-plan**: the same workload at a *different* global budget —
+  monolithic must re-solve from scratch, while the sharded solver's
+  per-shard tasks are budget-invariant (saturated shards don't change
+  when the global budget moves) and serve from the shard cache;
+- **fallback**: a single-component workload, where the sharded solver
+  must degrade to the monolithic path with bounded overhead.
+
+Correctness gates: the sharded utility must equal the monolithic utility
+on every arm (the budgets here are non-binding, where recombination is
+provably tension-free), and the fallback overhead must stay within
+``TARGET_FALLBACK_OVERHEAD``.
+
+The headline ``speedup`` is monolithic vs. **warm** sharded on the
+re-plan arm — the speedup decomposition delivers on recurring workloads,
+which a monolithic cache can never serve (its fingerprint includes the
+budget).  ``speedup_cold`` reports the cold decompose-and-solve path,
+which on a single-CPU box pays the per-shard fixed costs with no pool
+fan-out to offset them; ``cpu_count`` is recorded so the two numbers
+read honestly on any box.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_decompose.py [--quick]
+
+or through pytest (``pytest benchmarks/bench_decompose.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.algorithms.bcc import solve_bcc
+from repro.datasets import generate_fragmented
+from repro.decompose import ShardedConfig, partition_workload, solve_bcc_sharded
+from repro.parallel.cache import ResultCache
+
+RESULT_PATH = Path(__file__).parent / "BENCH_decompose.json"
+
+#: The acceptance target: re-planning at jobs=4 at least 2x faster.
+TARGET_SPEEDUP = 2.0
+#: Single-component instances must stay within 5% of the direct solve.
+TARGET_FALLBACK_OVERHEAD = 0.05
+JOBS = 4
+SEED = 3
+_TOL = 1e-9
+
+
+def _fragmented(quick: bool):
+    # The quick shape must still leave the monolithic re-solve well above
+    # the sharded solver's fixed warm-path costs, or the smoke run would
+    # measure overhead, not the cache.
+    components = 6 if quick else 8
+    per_component = 30 if quick else 40
+    return generate_fragmented(
+        n_components=components,
+        queries_per_component=per_component,
+        budget=1_000_000.0,
+        seed=SEED,
+    )
+
+
+def _single_component(quick: bool):
+    # A dense pool (few properties, many queries) stays one connected
+    # component; the assertion below keeps the arm honest.
+    instance = generate_fragmented(
+        n_components=1,
+        queries_per_component=15 if quick else 40,
+        properties_per_component=6,
+        budget=1_000_000.0,
+        seed=SEED,
+    )
+    assert partition_workload(instance).num_shards == 1, (
+        "fallback arm instance unexpectedly fragmented; pick another seed"
+    )
+    return instance
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def run_bench(quick: bool = False, repeats: int = 2) -> dict:
+    """All four arms; utilities must agree across every arm."""
+    instance = _fragmented(quick)
+    partition = partition_workload(instance)
+    assert partition.num_shards >= (4 if quick else 8), (
+        f"fragmented corpus produced only {partition.num_shards} shards"
+    )
+    replanned = instance.with_budget(800_000.0)
+
+    mono_secs, cold_secs, replan_mono_secs, warm_secs = [], [], [], []
+    with tempfile.TemporaryDirectory(prefix="repro-bench-decompose-") as tmp:
+        cache = ResultCache(directory=Path(tmp))
+        config = ShardedConfig(jobs=JOBS, cache=cache)
+
+        mono, seconds = _timed(solve_bcc, instance)
+        mono_secs.append(seconds)
+        for _ in range(repeats - 1):
+            mono_secs.append(_timed(solve_bcc, instance)[1])
+
+        for _ in range(repeats):
+            cache.clear()
+            sharded, seconds = _timed(
+                solve_bcc_sharded, instance, config, seed=SEED
+            )
+            cold_secs.append(seconds)
+            assert sharded.utility == mono.utility, (
+                f"sharded cold utility {sharded.utility} != monolithic {mono.utility}"
+            )
+
+        replan_mono, seconds = _timed(solve_bcc, replanned)
+        replan_mono_secs.append(seconds)
+        for _ in range(repeats - 1):
+            replan_mono_secs.append(_timed(solve_bcc, replanned)[1])
+
+        warm = None
+        for _ in range(repeats):
+            warm, seconds = _timed(
+                solve_bcc_sharded, replanned, config, seed=SEED
+            )
+            warm_secs.append(seconds)
+            assert warm.utility == replan_mono.utility, (
+                f"sharded warm utility {warm.utility} != monolithic {replan_mono.utility}"
+            )
+        hits, misses = cache.stats.hits, cache.stats.misses
+
+    # Fallback arm: single component, sharded must track the direct solve.
+    # One warmup solve, then interleaved repeats — the first solve of a
+    # fresh instance pays one-off compilation costs that would otherwise
+    # land entirely on whichever arm runs first.
+    single = _single_component(quick)
+    solve_bcc(single)
+    direct_secs, fallback_secs = [], []
+    for _ in range(max(repeats, 3)):
+        direct, seconds = _timed(solve_bcc, single)
+        direct_secs.append(seconds)
+        fallback, seconds = _timed(
+            solve_bcc_sharded, single, ShardedConfig(jobs=1), seed=SEED
+        )
+        fallback_secs.append(seconds)
+        assert fallback.utility == direct.utility, (
+            f"fallback utility {fallback.utility} != direct {direct.utility}"
+        )
+        assert fallback.meta["decompose"]["path"] == "monolithic-fallback"
+
+    mono_sec = min(mono_secs)
+    cold_sec = min(cold_secs)
+    replan_mono_sec = min(replan_mono_secs)
+    warm_sec = min(warm_secs)
+    direct_sec = min(direct_secs)
+    fallback_sec = min(fallback_secs)
+    overhead = (fallback_sec - direct_sec) / direct_sec
+
+    return {
+        "workload": f"fragmented @ {'quick' if quick else 'full'} (seed {SEED})",
+        "queries": len(instance.queries),
+        "shards": partition.num_shards,
+        "jobs": JOBS,
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "timer": "perf_counter wall seconds, min over repeats",
+        "monolithic_sec": mono_sec,
+        "sharded_cold_sec": cold_sec,
+        "speedup_cold": mono_sec / cold_sec if cold_sec > 0 else float("inf"),
+        "replan_monolithic_sec": replan_mono_sec,
+        "replan_sharded_warm_sec": warm_sec,
+        "speedup": replan_mono_sec / warm_sec if warm_sec > 0 else float("inf"),
+        "target_speedup": TARGET_SPEEDUP,
+        "cache": {"hits": hits, "misses": misses},
+        "warm_cache_hits": warm.meta["decompose"]["cache_hits"],
+        "warm_tasks": warm.meta["decompose"]["tasks"],
+        "fallback": {
+            "direct_sec": direct_sec,
+            "sharded_sec": fallback_sec,
+            "overhead_frac": overhead,
+            "target_overhead_frac": TARGET_FALLBACK_OVERHEAD,
+        },
+        "identical_utilities": True,
+    }
+
+
+def write_result(result: dict, path: Path = RESULT_PATH) -> None:
+    path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+
+def test_decompose_speedup(benchmark, scale):
+    """Pytest entry: the four-arm comparison (quick shape under tiny/micro)."""
+    from conftest import run_once
+
+    quick = scale.name in ("micro", "tiny")
+    result = run_once(benchmark, run_bench, quick=quick, repeats=2)
+    assert result["identical_utilities"]
+    assert result["speedup"] >= TARGET_SPEEDUP
+    assert result["fallback"]["overhead_frac"] <= TARGET_FALLBACK_OVERHEAD
+    write_result(result)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small workload, CI smoke"
+    )
+    parser.add_argument("--out", type=Path, default=RESULT_PATH, help="result JSON path")
+    args = parser.parse_args(argv)
+    result = run_bench(quick=args.quick, repeats=2)
+    write_result(result, args.out)
+    print(
+        f"{result['workload']}: {result['shards']} shards / {result['queries']} queries; "
+        f"monolithic {result['monolithic_sec']:.2f}s, "
+        f"sharded cold {result['sharded_cold_sec']:.2f}s "
+        f"({result['speedup_cold']:.2f}x), "
+        f"re-plan monolithic {result['replan_monolithic_sec']:.2f}s vs "
+        f"warm {result['replan_sharded_warm_sec']:.3f}s ({result['speedup']:.1f}x), "
+        f"fallback overhead {result['fallback']['overhead_frac']:+.1%}, "
+        f"utilities identical on all arms"
+    )
+    if result["speedup"] < TARGET_SPEEDUP:
+        print(f"WARNING: re-plan speedup below target {TARGET_SPEEDUP}x")
+        return 1
+    if result["fallback"]["overhead_frac"] > TARGET_FALLBACK_OVERHEAD:
+        print(
+            f"WARNING: fallback overhead above target {TARGET_FALLBACK_OVERHEAD:.0%}"
+        )
+        return 1
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

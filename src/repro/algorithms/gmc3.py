@@ -181,7 +181,8 @@ def solve_gmc3(
 
     Raises:
         InfeasibleTargetError: if the target exceeds the total utility of
-            the workload (no classifier set can reach it).
+            the workload, or the utility coverable at finite cost — in
+            either case no classifier set can reach it.
     """
     config = config or Gmc3Config()
     started = time.perf_counter()
@@ -190,8 +191,25 @@ def solve_gmc3(
         raise InfeasibleTargetError(
             f"target {instance.target} exceeds total utility {total}"
         )
+    coverable = instance.coverable_queries()
+    if len(coverable) < len(instance.queries):
+        # Queries walled off by infinite costs shrink both the reachable
+        # utility and the MC3 upper bound; covering them is impossible at
+        # any budget, so they must not make the budget search crash.
+        coverable_total = sum(instance.utility(q) for q in coverable)
+        if instance.target > coverable_total + 1e-9:
+            raise InfeasibleTargetError(
+                f"target {instance.target} exceeds coverable utility "
+                f"{coverable_total} ({len(instance.queries) - len(coverable)} "
+                f"queries have no finite-cost cover)"
+            )
+        from repro.mc3 import solve_mc3
 
-    high = full_cover_cost(instance)
+        high = sum(
+            instance.cost(c) for c in solve_mc3(instance, queries=coverable)
+        )
+    else:
+        high = full_cover_cost(instance)
     best: Optional[Tuple[FrozenSet[Classifier], float]] = None
 
     if config.greedy_candidate:
@@ -217,10 +235,11 @@ def solve_gmc3(
             lo = mid
 
     if best is None:
-        # Numerically pathological; fall back to covering everything.
+        # Numerically pathological; fall back to covering everything that
+        # can be covered.
         from repro.mc3 import solve_mc3
 
-        best = (solve_mc3(instance), 0.0)
+        best = (solve_mc3(instance, queries=coverable), 0.0)
     solution = evaluate(
         instance,
         best[0],

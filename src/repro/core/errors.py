@@ -19,6 +19,15 @@ class InfeasibleTargetError(ReproError):
     """A GMC3 utility target exceeds the total achievable utility."""
 
 
+class DecompositionError(ReproError):
+    """A workload decomposition invariant broke — shards were not independent.
+
+    Raised when the sharded solver's recombined totals disagree with the
+    first-principles evaluation of the union selection, i.e. some
+    classifier leaked utility or cost across shard boundaries.
+    """
+
+
 class CertificateError(ReproError):
     """A solution failed independent verification (``repro.verify``).
 

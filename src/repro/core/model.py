@@ -172,6 +172,25 @@ class ClassifierWorkload:
             if not math.isinf(self.cost(classifier)):
                 yield classifier
 
+    def coverable_queries(self) -> List[Query]:
+        """Queries fully coverable by finite-cost classifiers, workload order.
+
+        A query is coverable iff the union of its finite-cost subsets
+        equals the query itself; no budget can change this, so the
+        complement is permanently out of reach for every solver.
+        """
+        coverable: List[Query] = []
+        for query in self.queries:
+            union: set = set()
+            for classifier in powerset_classifiers(query):
+                if not math.isinf(self.cost(classifier)):
+                    union |= classifier
+                    if len(union) == len(query):
+                        break
+            if len(union) == len(query):
+                coverable.append(query)
+        return coverable
+
     def compiled(self) -> "CompiledWorkload":
         """The memoized bitmask view of this workload (``bits`` engine)."""
         from repro.core.bitset import compile_workload
@@ -270,6 +289,49 @@ class ClassifierWorkload:
                 return masked
         return [c for c in pool_set if c <= query]
 
+    def restrict(self, queries: Iterable[Query]) -> "ClassifierWorkload":
+        """The sub-workload over ``queries`` (workload order preserved).
+
+        Explicit utilities carry over for the kept queries; explicit costs
+        carry over for every classifier still relevant to some kept query
+        (including infinite-cost entries — they keep constraining the
+        sub-problem).  Defaults are inherited, so ``restrict`` followed by
+        ``cost``/``utility`` agrees with the parent workload on everything
+        the sub-workload can see.  This is the shard view the
+        decomposition engine solves independently.
+        """
+        kept_set = set()
+        for query in queries:
+            if query not in self._query_set:
+                raise InvalidInstanceError(
+                    f"restrict() given a query outside the workload: {sorted(query)}"
+                )
+            kept_set.add(query)
+        ordered = [q for q in self.queries if q in kept_set]
+        utilities = {q: self._utilities[q] for q in ordered if q in self._utilities}
+        costs: Dict[Classifier, float] = {}
+        for classifier, value in self._costs.items():
+            for query in self.queries_containing(classifier):
+                if query in kept_set:
+                    costs[classifier] = value
+                    break
+        return self._restricted(ordered, utilities, costs)
+
+    def _restricted(
+        self,
+        queries: List[Query],
+        utilities: Dict[Query, float],
+        costs: Dict[Classifier, float],
+    ) -> "ClassifierWorkload":
+        """Build the restricted view (subclasses re-attach budget/target)."""
+        return ClassifierWorkload(
+            queries,
+            utilities,
+            costs,
+            default_utility=self.default_utility,
+            default_cost=self.default_cost,
+        )
+
     def length_histogram(self) -> Counter:
         """Counter of query lengths."""
         return Counter(len(q) for q in self.queries)
@@ -305,6 +367,21 @@ class BCCInstance(ClassifierWorkload):
             self._utilities,
             self._costs,
             budget=budget,
+            default_utility=self.default_utility,
+            default_cost=self.default_cost,
+        )
+
+    def _restricted(
+        self,
+        queries: List[Query],
+        utilities: Dict[Query, float],
+        costs: Dict[Classifier, float],
+    ) -> "BCCInstance":
+        return BCCInstance(
+            queries,
+            utilities,
+            costs,
+            budget=self.budget,
             default_utility=self.default_utility,
             default_cost=self.default_cost,
         )

@@ -15,10 +15,14 @@ the paper's specification.
 - :mod:`repro.datasets.synthetic` — the paper's synthetic spec: length ``i``
   w.p. ``2^-i`` capped at 6, costs ~ U{0..50}, utilities ~ U{1..50},
   10K property pool.
+- :mod:`repro.datasets.fragmented` — many-component workloads (disjoint
+  per-component property pools, synthetic marginals) for the
+  decomposition engine.
 - :mod:`repro.datasets.schema` — JSON round-trip for instances.
 """
 
 from repro.datasets.bestbuy import generate_bestbuy
+from repro.datasets.fragmented import generate_fragmented
 from repro.datasets.private_like import generate_private
 from repro.datasets.synthetic import generate_synthetic
 from repro.datasets.schema import instance_from_json, instance_to_json, load_instance, save_instance
@@ -26,6 +30,7 @@ from repro.datasets.stats import dataset_stats
 
 __all__ = [
     "generate_bestbuy",
+    "generate_fragmented",
     "generate_private",
     "generate_synthetic",
     "instance_to_json",

@@ -1,0 +1,33 @@
+"""Workload decomposition: shard BCC instances, solve shards in parallel.
+
+A BCC instance decomposes exactly along connected components of the
+"shares a usable classifier" relation on ``Q``: a classifier ``c`` only
+helps cover queries ``q ⊇ c``, so components never interact except
+through the shared budget.  This package computes that partition
+(:func:`partition_workload`), solves each shard over a capped grid of
+candidate budgets through the parallel task layer, and recombines the
+per-shard profiles with an exact multiple-choice knapsack
+(:mod:`repro.decompose.allocator`) — see
+:func:`solve_bcc_sharded` and the "Workload decomposition & sharded
+solving" section of ``docs/ALGORITHMS.md``.
+"""
+
+from repro.decompose.allocator import (
+    ProfilePoint,
+    allocate,
+    budget_grid,
+    pareto_profile,
+)
+from repro.decompose.partition import WorkloadPartition, partition_workload
+from repro.decompose.solver import ShardedConfig, solve_bcc_sharded
+
+__all__ = [
+    "WorkloadPartition",
+    "partition_workload",
+    "ProfilePoint",
+    "budget_grid",
+    "pareto_profile",
+    "allocate",
+    "ShardedConfig",
+    "solve_bcc_sharded",
+]

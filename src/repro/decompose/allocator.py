@@ -1,0 +1,184 @@
+"""Budget allocation across shards: candidate grids and exact recombination.
+
+Each shard is solved over a grid of candidate budgets; the resulting
+(cost, utility) profile points — actual spends, not grid points — feed a
+multiple-choice knapsack that picks one point per shard maximizing total
+utility within the global budget.  The recombination is *provably optimal
+relative to the per-shard solutions it is given*: the grouped DP
+(:func:`repro.knapsack.solvers.solve_knapsack_grouped`) is exact for
+(near-)integral costs, and the pareto-merge fallback is exact for
+arbitrary float costs up to the documented frontier cap.
+
+Grid construction ("every reachable shard cost point, capped"): the
+reachable spends of a shard are the subset sums of its finite classifier
+costs, truncated at ``min(B, shard total)``.  Enumeration stops at
+``max_sums`` distinct sums (dense-cost regime), falling back to an even
+fractional grid; either way the grid is downsampled to ``max_points``
+budgets keeping the 0 and top points, so per-shard work is bounded no
+matter how rich the cost structure is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.knapsack.items import KnapsackItem
+from repro.knapsack.solvers import solve_knapsack_grouped
+
+_TOL = 1e-9
+
+#: Stop enumerating subset sums past this many distinct points.
+MAX_SUBSET_SUMS = 4096
+#: Frontier cap of the pareto-merge fallback; beyond it, costs are
+#: bucketed (keep the best utility per bucket), trading exactness for a
+#: bounded merge — reached only on pathological float-cost workloads.
+MAX_FRONTIER = 100_000
+
+
+@dataclass(frozen=True)
+class ProfilePoint:
+    """One solved shard budget point: actual spend, achieved utility."""
+
+    cost: float
+    utility: float
+    key: str  #: task key of the producing solve (recovers the solution)
+
+
+def budget_grid(
+    costs: Sequence[float], budget: float, max_points: int = 12
+) -> List[float]:
+    """Candidate budgets for one shard: reachable cost points, capped.
+
+    ``costs`` are the shard's finite classifier costs.  Returns a sorted,
+    deduplicated grid that always contains ``0`` and the top point
+    ``min(budget, sum(costs))`` and has at most ``max_points`` entries
+    (evenly downsampled by rank when the reachable set is larger).
+    """
+    if max_points < 2:
+        raise ValueError(f"max_points must be >= 2, got {max_points}")
+    top = min(budget, sum(costs))
+    if top <= _TOL:
+        return [0.0]
+    sums = {0.0}
+    truncated = False
+    for cost in sorted(costs):
+        if cost <= 0:
+            continue
+        additions = {
+            round(total + cost, 9)
+            for total in sums
+            if total + cost <= top + _TOL
+        }
+        sums |= additions
+        if len(sums) > MAX_SUBSET_SUMS:
+            truncated = True
+            break
+    if truncated:
+        points = sorted({round(top * k / max_points, 9) for k in range(max_points + 1)})
+    else:
+        points = sorted(sums)
+    if points[-1] < top - _TOL:
+        points.append(top)
+    if len(points) > max_points:
+        # Even downsample by rank, pinning the first (0) and last (top).
+        last = len(points) - 1
+        indexes = sorted({round(last * k / (max_points - 1)) for k in range(max_points)})
+        points = [points[i] for i in indexes]
+    return points
+
+
+def pareto_profile(points: Sequence[ProfilePoint]) -> List[ProfilePoint]:
+    """Dominance-pruned profile: ascending cost, strictly ascending utility.
+
+    Among equal-cost points the best utility survives; a point must
+    strictly improve on every cheaper point's utility to stay.  Ties are
+    broken by task key so the profile is deterministic.
+    """
+    frontier: List[ProfilePoint] = []
+    best = -1.0
+    for point in sorted(points, key=lambda p: (p.cost, -p.utility, p.key)):
+        if point.utility > best + _TOL:
+            frontier.append(point)
+            best = point.utility
+    return frontier
+
+
+def _bucketed(
+    frontier: List[Tuple[float, float, tuple]], budget: float, cap: int
+) -> List[Tuple[float, float, tuple]]:
+    """Keep the best-utility entry per cost bucket (lossy merge bound)."""
+    width = max(budget, _TOL) / cap
+    best: dict = {}
+    for entry in frontier:
+        bucket = int(entry[0] / width)
+        kept = best.get(bucket)
+        if kept is None or entry[1] > kept[1]:
+            best[bucket] = entry
+    return sorted(best.values(), key=lambda e: e[0])
+
+
+def _pareto_allocate(
+    profiles: Sequence[Sequence[ProfilePoint]], budget: float
+) -> Tuple[float, List[Optional[ProfilePoint]]]:
+    """Exact float-cost recombination by pareto-frontier merging.
+
+    The frontier after shard ``i`` holds every non-dominated
+    (cost, utility, choices) reachable from the first ``i`` profiles
+    within ``budget``; merging is exact unless the frontier exceeds
+    :data:`MAX_FRONTIER`, where cost bucketing bounds it (documented
+    approximation, only reachable with dense irrational cost mixes).
+    """
+    frontier: List[Tuple[float, float, tuple]] = [(0.0, 0.0, ())]
+    for points in profiles:
+        candidates: List[Tuple[float, float, tuple]] = []
+        for cost, utility, choices in frontier:
+            candidates.append((cost, utility, choices + (None,)))
+            for point in points:
+                total = cost + point.cost
+                if total <= budget + _TOL:
+                    candidates.append((total, utility + point.utility, choices + (point,)))
+        candidates.sort(key=lambda e: (e[0], -e[1]))
+        merged: List[Tuple[float, float, tuple]] = []
+        best = -1.0
+        for entry in candidates:
+            if entry[1] > best + _TOL:
+                merged.append(entry)
+                best = entry[1]
+        if len(merged) > MAX_FRONTIER:
+            merged = _bucketed(merged, budget, MAX_FRONTIER)
+        frontier = merged
+    _, utility, choices = max(frontier, key=lambda e: (e[1], -e[0]))
+    return utility, list(choices)
+
+
+def allocate(
+    profiles: Sequence[Sequence[ProfilePoint]], budget: float
+) -> Tuple[float, List[Optional[ProfilePoint]], str]:
+    """Pick one profile point per shard maximizing utility within ``budget``.
+
+    Tries the exact grouped knapsack DP first (integral costs — every
+    corpus and dataset in this repo); falls back to the exact pareto
+    merge for float costs.  Returns ``(utility, chosen point or None per
+    shard, path)`` where ``path`` names the recombination that ran.
+    """
+    pruned = [pareto_profile(points) for points in profiles]
+    groups = [
+        [
+            KnapsackItem(key=(shard, index), weight=point.cost, value=point.utility)
+            for index, point in enumerate(points)
+        ]
+        for shard, points in enumerate(pruned)
+    ]
+    try:
+        value, chosen_items = solve_knapsack_grouped(groups, budget)
+    except ValueError:
+        utility, chosen = _pareto_allocate(pruned, budget)
+        return utility, chosen, "pareto-merge"
+    chosen: List[Optional[ProfilePoint]] = []
+    for shard, item in enumerate(chosen_items):
+        if item is None:
+            chosen.append(None)
+        else:
+            chosen.append(pruned[shard][item.key[1]])
+    return float(value), chosen, "grouped-dp"

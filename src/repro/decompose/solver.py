@@ -1,0 +1,280 @@
+"""``solve_bcc_sharded`` — decompose, solve shards in parallel, recombine.
+
+The pipeline:
+
+1. :func:`~repro.decompose.partition.partition_workload` shards the
+   instance along the shared-usable-classifier relation (a single shard
+   degrades to the monolithic solver with only the partition's linear
+   scan as overhead);
+2. every shard is solved over its candidate budget grid through
+   :func:`repro.parallel.pool.run_tasks` — one
+   :class:`~repro.parallel.pool.SolveTask` per (shard, budget point) with
+   a :func:`~repro.parallel.seeding.seed_for`-derived seed and, when a
+   cache is attached, a per-shard fingerprint cache entry (shards of
+   recurring workloads hit across *different* global budgets, since the
+   shard instance, not the parent, is the cache key);
+3. the allocator picks one solved point per shard — exactly optimal
+   relative to the per-shard solutions — and the union selection is
+   re-scored from first principles by :func:`~repro.core.solution.evaluate`.
+
+Exactness conditions: when the global budget is non-binding (it covers
+every shard's total finite classifier cost) each shard is solved once at
+its own saturation budget and the recombination is tension-free, so the
+result equals the monolithic solve's utility; under a binding budget the
+result is optimal over the grid of per-shard solutions (and ≥ any single
+allocation the grid contains).  Cross-shard totals are checked after
+re-scoring and a :class:`~repro.core.errors.DecompositionError` is raised
+on any disagreement — shards leaking utility or cost into each other
+cannot go unnoticed.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set
+
+from repro.core.errors import DecompositionError
+from repro.core.model import BCCInstance, Classifier
+from repro.core.solution import Solution, evaluate
+from repro.decompose.allocator import ProfilePoint, allocate, budget_grid
+from repro.decompose.partition import WorkloadPartition, partition_workload
+from repro.parallel.cache import ResultCache
+from repro.parallel.pool import ParallelConfig, SolveTask, TaskResult, run_tasks
+from repro.parallel.seeding import seed_for
+
+_TOL = 1e-9
+
+
+@dataclass
+class ShardedConfig:
+    """Tuning knobs for :func:`solve_bcc_sharded`.
+
+    Attributes:
+        inner_solver: registry name of the per-shard solver (any entry of
+            :mod:`repro.parallel.registry`; defaults to ``A^BCC``).
+        max_grid_points: per-shard budget-grid cap under a binding budget
+            (see :func:`~repro.decompose.allocator.budget_grid`).
+        jobs: worker processes for the shard fan-out; ``None`` defers to
+            ``REPRO_JOBS``.  Keep at 1 when the caller itself runs inside
+            a process pool.
+        cache: optional :class:`~repro.parallel.cache.ResultCache`; shard
+            solves are cached under per-shard instance fingerprints.
+    """
+
+    inner_solver: str = "abcc"
+    max_grid_points: int = 12
+    jobs: Optional[int] = None
+    cache: Optional[ResultCache] = field(default=None, repr=False)
+
+
+def _shard_finite_total(shard: BCCInstance) -> float:
+    """Sum of the shard's finite relevant-classifier costs (its saturation
+    budget: no shard solution can usefully spend more)."""
+    return float(
+        sum(
+            cost
+            for cost in (shard.cost(c) for c in shard.relevant_classifiers())
+            if not math.isinf(cost)
+        )
+    )
+
+
+def solve_bcc_sharded(
+    instance: BCCInstance,
+    config: Optional[ShardedConfig] = None,
+    certify: bool = False,
+    seed: Optional[int] = None,
+) -> Solution:
+    """Solve ``instance`` by decomposition into independent shards.
+
+    Drop-in alternative to :func:`~repro.algorithms.bcc.solve_bcc`: same
+    signature shape, same certification contract (with ``certify`` the
+    per-shard certificates are composed into one instance-level
+    certificate, verified against the undecomposed instance, and recorded
+    in ``solution.meta["certificate"]``).  ``seed`` feeds the per-shard
+    derived seeds of randomized inner solvers; deterministic inner
+    solvers ignore it.
+    """
+    config = config or ShardedConfig()
+    started = time.perf_counter()
+
+    partition = partition_workload(instance)
+    if partition.num_shards == 1:
+        return _monolithic_fallback(instance, partition, config, certify, seed, started)
+
+    shards = [
+        partition.shard_instance(index, 0.0) for index in range(partition.num_shards)
+    ]
+    totals = [_shard_finite_total(shard) for shard in shards]
+
+    budget = instance.budget
+    if sum(totals) <= budget + _TOL:
+        # Non-binding budget: each shard saturates independently, the
+        # recombination is tension-free, and the union is exact relative
+        # to the inner solver (equal to the monolithic solve's utility).
+        grids = [[total] for total in totals]
+        path_hint = "non-binding"
+    else:
+        grids = [
+            budget_grid(
+                _finite_costs(shard), budget, max_points=config.max_grid_points
+            )
+            for shard in shards
+        ]
+        path_hint = None
+
+    tasks: List[SolveTask] = []
+    for index, (shard, grid) in enumerate(zip(shards, grids)):
+        for point in grid:
+            tasks.append(
+                SolveTask(
+                    key=f"s{index}/b={point!r}",
+                    solver=config.inner_solver,
+                    instance=shard.with_budget(point),
+                    seed=seed_for("sharded", config.inner_solver, seed, index, float(point)),
+                    certify=certify,
+                )
+            )
+    results = run_tasks(
+        tasks, ParallelConfig(jobs=config.jobs, cache=config.cache)
+    )
+    by_key: Dict[str, TaskResult] = {result.key: result for result in results}
+
+    profiles: List[List[ProfilePoint]] = []
+    for index, grid in enumerate(grids):
+        profiles.append(
+            [
+                ProfilePoint(
+                    cost=by_key[f"s{index}/b={point!r}"].solution.cost,
+                    utility=by_key[f"s{index}/b={point!r}"].solution.utility,
+                    key=f"s{index}/b={point!r}",
+                )
+                for point in grid
+            ]
+        )
+
+    allocated_utility, chosen, path = allocate(profiles, budget)
+    if path_hint is not None:
+        path = path_hint
+
+    selection: Set[Classifier] = set()
+    shard_spends: List[float] = []
+    chosen_solutions: List[Optional[Solution]] = []
+    for point in chosen:
+        if point is None:
+            shard_spends.append(0.0)
+            chosen_solutions.append(None)
+            continue
+        solution = by_key[point.key].solution
+        selection.update(solution.classifiers)
+        shard_spends.append(solution.cost)
+        chosen_solutions.append(solution)
+
+    solution = evaluate(
+        instance,
+        selection,
+        meta={
+            "algorithm": "A^BCC[sharded]",
+            "inner_solver": config.inner_solver,
+            "decompose": {
+                "shards": partition.num_shards,
+                "path": path,
+                "grid_sizes": [len(grid) for grid in grids],
+                "shard_budgets": [
+                    None if point is None else point.cost for point in chosen
+                ],
+                "dead_properties": len(partition.dead_properties),
+                "cache_hits": sum(1 for result in results if result.cached),
+                "tasks": len(tasks),
+            },
+            "runtime_sec": time.perf_counter() - started,
+        },
+    )
+    _check_composition(solution, allocated_utility, shard_spends, chosen)
+
+    if certify:
+        _certify_composed(instance, solution, chosen_solutions)
+    return solution
+
+
+def _finite_costs(shard: BCCInstance) -> List[float]:
+    return [
+        cost
+        for cost in (shard.cost(c) for c in shard.relevant_classifiers())
+        if not math.isinf(cost)
+    ]
+
+
+def _monolithic_fallback(
+    instance: BCCInstance,
+    partition: WorkloadPartition,
+    config: ShardedConfig,
+    certify: bool,
+    seed: Optional[int],
+    started: float,
+) -> Solution:
+    """Single shard: run the inner solver on the whole instance directly."""
+    from repro.parallel.registry import get_solver
+
+    inner = get_solver(config.inner_solver)
+    solution = inner(instance, seed, certify)
+    meta = dict(solution.meta)
+    meta["decompose"] = {
+        "shards": 1,
+        "path": "monolithic-fallback",
+        "dead_properties": len(partition.dead_properties),
+    }
+    meta["runtime_sec"] = time.perf_counter() - started
+    return replace(solution, meta=meta)
+
+
+def _check_composition(
+    solution: Solution,
+    allocated_utility: float,
+    shard_spends: List[float],
+    chosen: List[Optional[ProfilePoint]],
+) -> None:
+    """First-principles totals must equal the recombined shard totals."""
+    expected_utility = sum(point.utility for point in chosen if point is not None)
+    expected_cost = sum(shard_spends)
+    scale = max(1.0, abs(expected_utility), abs(solution.utility))
+    if abs(solution.utility - expected_utility) > _TOL * scale:
+        raise DecompositionError(
+            f"recombined shard utility {expected_utility} disagrees with the "
+            f"first-principles evaluation {solution.utility} — shards interact"
+        )
+    scale = max(1.0, abs(expected_cost), abs(solution.cost))
+    if abs(solution.cost - expected_cost) > _TOL * scale:
+        raise DecompositionError(
+            f"recombined shard cost {expected_cost} disagrees with the "
+            f"first-principles evaluation {solution.cost} — shards overlap"
+        )
+    scale = max(1.0, abs(allocated_utility))
+    if abs(allocated_utility - expected_utility) > _TOL * scale:
+        raise DecompositionError(
+            f"allocator value {allocated_utility} disagrees with the chosen "
+            f"profile points' utility {expected_utility}"
+        )
+
+
+def _certify_composed(
+    instance: BCCInstance,
+    solution: Solution,
+    chosen_solutions: List[Optional[Solution]],
+) -> None:
+    """Compose shard certificates and verify against the whole instance."""
+    from repro.verify.certificate import compose_certificates, verify_solution
+
+    shard_certificates = [
+        shard_solution.meta["certificate"]
+        for shard_solution in chosen_solutions
+        if shard_solution is not None and "certificate" in shard_solution.meta
+    ]
+    composed = compose_certificates(instance, shard_certificates)
+    verify_solution(
+        instance, solution, certificate=composed, budget=instance.budget
+    )
+    if isinstance(solution.meta, dict):
+        solution.meta["certificate"] = composed

@@ -14,6 +14,7 @@ from repro.knapsack.solvers import (
     solve_knapsack_dp,
     solve_knapsack_fptas,
     solve_knapsack_greedy,
+    solve_knapsack_grouped,
 )
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "solve_knapsack_dp",
     "solve_knapsack_fptas",
     "solve_knapsack_greedy",
+    "solve_knapsack_grouped",
 ]

@@ -152,6 +152,67 @@ def solve_knapsack_fptas(
     return sum(i.value for i in chosen), chosen
 
 
+GroupedResult = Tuple[float, List[Optional[KnapsackItem]]]
+
+
+def solve_knapsack_grouped(
+    groups: Sequence[Sequence[KnapsackItem]], capacity: float
+) -> GroupedResult:
+    """Exact multiple-choice 0/1 knapsack: at most one item per group.
+
+    The decomposition engine's recombination problem: each group is one
+    shard's (cost, utility) profile and the DP picks one point per shard
+    maximizing total value within ``capacity``.  Skipping a group is
+    always allowed (the returned per-group entry is ``None``).
+
+    Same contract as :func:`solve_knapsack_dp`: requires (near-)integral
+    weights after scaling and a tractable table, else ``ValueError`` —
+    callers fall back to an exact pareto-merge over float weights.
+    Returns ``(total value, chosen item or None per group)``.
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be >= 0, got {capacity}")
+    flat = [item for group in groups for item in group]
+    scaled = _integer_weights(flat, capacity)
+    if scaled is None:
+        raise ValueError("weights are not integral at any supported scale")
+    weights, cap = scaled
+    group_weights: List[List[int]] = []
+    cursor = 0
+    for group in groups:
+        group_weights.append(weights[cursor : cursor + len(group)])
+        cursor += len(group)
+    if (len(groups) + 1) * (cap + 1) > _MAX_DP_CELLS:
+        raise ValueError(
+            f"DP table too large: {len(groups)} groups x {cap + 1} states"
+        )
+
+    dp = np.zeros(cap + 1)
+    picks: List[np.ndarray] = []
+    for group, gweights in zip(groups, group_weights):
+        ndp = dp.copy()
+        pick = np.full(cap + 1, -1, dtype=np.int32)
+        for index, (item, weight) in enumerate(zip(group, gweights)):
+            if weight > cap or item.value <= 0:
+                continue
+            shifted = dp[: cap + 1 - weight] + item.value
+            better = shifted > ndp[weight:]
+            ndp[weight:][better] = shifted[better]
+            pick[weight:][better] = index
+        dp = ndp
+        picks.append(pick)
+
+    position = int(np.argmax(dp))  # ties break to the lowest weight
+    value = float(dp[position])
+    chosen: List[Optional[KnapsackItem]] = [None] * len(groups)
+    for gi in range(len(groups) - 1, -1, -1):
+        index = int(picks[gi][position])
+        if index >= 0:
+            chosen[gi] = groups[gi][index]
+            position -= group_weights[gi][index]
+    return value, chosen
+
+
 def solve_knapsack(
     items: Sequence[KnapsackItem], capacity: float
 ) -> Result:

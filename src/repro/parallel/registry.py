@@ -101,6 +101,17 @@ def _ig2_bcc(instance, seed=None, certify=False):
     return ig2_bcc(instance, certify=certify)
 
 
+@register_solver("abcc-sharded")
+def _abcc_sharded(instance, seed=None, certify=False):
+    # jobs=1: registry solvers already run inside pool workers, so the
+    # shard fan-out must not open a nested process pool.
+    from repro.decompose import ShardedConfig, solve_bcc_sharded
+
+    return solve_bcc_sharded(
+        instance, ShardedConfig(jobs=1), certify=certify, seed=seed
+    )
+
+
 @register_solver("agmc3")
 def _agmc3(instance, seed=None, certify=False):
     from repro.algorithms import solve_gmc3

@@ -24,6 +24,7 @@ from repro.verify.certificate import (
     SolutionCertificate,
     attach_certificate,
     build_certificate,
+    compose_certificates,
     verify_solution,
 )
 from repro.verify.corpus import CorpusCase, corpus, corpus_cases
@@ -50,6 +51,7 @@ __all__ = [
     "build_certificate",
     "verify_solution",
     "attach_certificate",
+    "compose_certificates",
     "CorpusCase",
     "corpus",
     "corpus_cases",

@@ -135,6 +135,14 @@ def _brute(instance: BCCInstance) -> Solution:
     return solve_bcc_exact(instance)
 
 
+def _abcc_sharded(instance: BCCInstance) -> Solution:
+    """Decompose-solve-recombine arm (jobs=1: the harness may itself run
+    inside a pool worker)."""
+    from repro.decompose import ShardedConfig, solve_bcc_sharded
+
+    return solve_bcc_sharded(instance, ShardedConfig(jobs=1))
+
+
 def default_arms() -> List[SolverArm]:
     """Every registered solver arm, across all three objectives."""
     from repro.algorithms.ecc import solve_ecc
@@ -143,6 +151,7 @@ def default_arms() -> List[SolverArm]:
 
     return [
         SolverArm("A^BCC", "bcc", _abcc),
+        SolverArm("A^BCC-sharded", "bcc", _abcc_sharded),
         SolverArm("brute-force", "bcc", _brute, oracle=True),
         SolverArm("RAND", "bcc", lambda i: runners.rand_bcc(i, seed=0)),
         SolverArm("IG1", "bcc", runners.ig1_bcc),

@@ -1,13 +1,27 @@
-"""Shared fixtures: the paper's running examples and small random instances."""
+"""Shared fixtures: the paper's running examples and small random instances.
+
+Setting ``REPRO_TEST_ORDER_SEED`` shuffles test collection order with that
+seed — the flake-audit CI leg runs the suite under two different seeds to
+flush out order-dependent tests (shared module state, leaked engine
+switches, cache spill).  Unset, collection order is untouched.
+"""
 
 from __future__ import annotations
 
 import math
+import os
 import random
 
 import pytest
 
 from repro.core import BCCInstance, from_letters as fs
+
+
+def pytest_collection_modifyitems(config, items):
+    seed = os.environ.get("REPRO_TEST_ORDER_SEED")
+    if not seed:
+        return
+    random.Random(int(seed)).shuffle(items)
 
 
 def figure1_instance(budget: float) -> BCCInstance:
