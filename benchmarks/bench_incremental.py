@@ -1,0 +1,195 @@
+"""Benchmark for the incremental delta re-solve engine.
+
+Arms, all over the same fragmented workload (disjoint topical
+components) at a non-binding budget:
+
+- **cold monolithic**: plain ``solve_bcc`` on the mutated instance — the
+  reference wall-clock for re-planning from scratch;
+- **cold incremental**: ``IncrementalSolver.solve()`` on a pristine
+  clone of the mutated instance — what the warm path must match
+  bit-for-bit;
+- **warm resolve_delta**: the engine re-plans after a ~1% workload delta,
+  reusing every untouched shard's solved profile.
+
+Correctness gates on every repeat: the warm selection, utility and cost
+must equal the cold incremental solve exactly (no tolerance), the warm
+utility must equal the monolithic utility (non-binding budgets make the
+decomposition exact), and every warm result carries a verified
+first-principles certificate.  The headline ``speedup`` is cold
+monolithic vs. warm re-plan at ``DELTA_FRACTION``; a sweep over larger
+delta fractions records how the advantage drains as deltas grow (the
+``figdrift`` figure plots the same curve).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py [--quick]
+
+or through pytest (``pytest benchmarks/bench_incremental.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.algorithms.bcc import solve_bcc
+from repro.datasets import generate_fragmented
+from repro.incremental import IncrementalConfig, IncrementalSolver, random_delta
+
+RESULT_PATH = Path(__file__).parent / "BENCH_incremental.json"
+
+#: The acceptance target: re-planning after a 1% delta at least 10x
+#: faster than a cold monolithic solve of the mutated instance.
+TARGET_SPEEDUP = 10.0
+DELTA_FRACTION = 0.01
+SWEEP_FRACTIONS = (0.01, 0.05, 0.10, 0.25)
+SEED = 3
+
+
+def _instance(quick: bool):
+    # Many medium components: a 1% delta touches a handful of shards
+    # while the cold monolithic solve pays for the whole workload.
+    return generate_fragmented(
+        n_components=30 if quick else 60,
+        queries_per_component=10,
+        budget=1_000_000.0,
+        seed=SEED,
+    )
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def _measure_fraction(instance, fraction: float, repeats: int) -> dict:
+    """Warm re-plan vs both cold arms at one delta fraction."""
+    config = IncrementalConfig(certify=True)
+    warm_secs, mono_secs, cold_secs = [], [], []
+    telemetry = {}
+    for repeat in range(repeats):
+        solver = IncrementalSolver(instance.clone(), config)
+        solver.solve()
+        delta = random_delta(
+            solver.instance, random.Random(SEED + repeat), fraction=fraction
+        )
+        warm, seconds = _timed(solver.resolve_delta, delta)
+        warm_secs.append(seconds)
+        assert "certificate" in warm.meta, "warm result not certified"
+
+        mutated = solver.instance
+        mono, seconds = _timed(solve_bcc, mutated.clone())
+        mono_secs.append(seconds)
+        # Cross-algorithm check: equal up to float association (utilities
+        # accumulate in selection order, which differs between pipelines).
+        # The bit-exact contract is warm vs. cold *incremental*, below.
+        assert math.isclose(warm.utility, mono.utility, rel_tol=1e-12), (
+            f"warm utility {warm.utility} != monolithic {mono.utility}"
+        )
+
+        cold, seconds = _timed(
+            lambda: IncrementalSolver(mutated.clone(), config).solve()
+        )
+        cold_secs.append(seconds)
+        assert warm.classifiers == cold.classifiers, "warm selection != cold"
+        assert (warm.utility, warm.cost) == (cold.utility, cold.cost), (
+            "warm totals != cold totals"
+        )
+        telemetry = dict(warm.meta["incremental"])
+    warm_sec, mono_sec, cold_sec = min(warm_secs), min(mono_secs), min(cold_secs)
+    return {
+        "delta_fraction": fraction,
+        "delta_edits": telemetry.get("delta_edits"),
+        "warm_sec": warm_sec,
+        "cold_monolithic_sec": mono_sec,
+        "cold_incremental_sec": cold_sec,
+        "speedup_vs_monolithic": mono_sec / warm_sec if warm_sec > 0 else float("inf"),
+        "speedup_vs_cold_incremental": (
+            cold_sec / warm_sec if warm_sec > 0 else float("inf")
+        ),
+        "shards": telemetry.get("shards"),
+        "dirty_shards": telemetry.get("dirty_shards"),
+        "reused_profiles": telemetry.get("reused_profiles"),
+        "identical_to_cold": True,
+    }
+
+
+def run_bench(quick: bool = False, repeats: int = 2) -> dict:
+    instance = _instance(quick)
+    headline = _measure_fraction(instance, DELTA_FRACTION, repeats)
+    sweep = [headline]
+    for fraction in SWEEP_FRACTIONS[1:]:
+        sweep.append(_measure_fraction(instance, fraction, repeats=1))
+    return {
+        "workload": f"fragmented @ {'quick' if quick else 'full'} (seed {SEED})",
+        "queries": len(instance.queries),
+        "repeats": repeats,
+        "cpu_count": os.cpu_count(),
+        "timer": "perf_counter wall seconds, min over repeats",
+        "delta_fraction": DELTA_FRACTION,
+        "warm_sec": headline["warm_sec"],
+        "cold_monolithic_sec": headline["cold_monolithic_sec"],
+        "cold_incremental_sec": headline["cold_incremental_sec"],
+        "speedup": headline["speedup_vs_monolithic"],
+        "speedup_vs_cold_incremental": headline["speedup_vs_cold_incremental"],
+        "target_speedup": TARGET_SPEEDUP,
+        "shards": headline["shards"],
+        "dirty_shards": headline["dirty_shards"],
+        "reused_profiles": headline["reused_profiles"],
+        "sweep": sweep,
+        "identical_to_cold": all(row["identical_to_cold"] for row in sweep),
+        "certified": True,
+    }
+
+
+def write_result(result: dict, path: Path = RESULT_PATH) -> None:
+    path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+
+def test_incremental_speedup(benchmark, scale):
+    """Pytest entry: warm re-plan vs cold solves (quick shape under tiny/micro)."""
+    from conftest import run_once
+
+    quick = scale.name in ("micro", "tiny")
+    result = run_once(benchmark, run_bench, quick=quick, repeats=2)
+    assert result["identical_to_cold"]
+    assert result["speedup"] >= TARGET_SPEEDUP
+    write_result(result)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small workload, CI smoke"
+    )
+    parser.add_argument("--out", type=Path, default=RESULT_PATH, help="result JSON path")
+    args = parser.parse_args(argv)
+    result = run_bench(quick=args.quick, repeats=2)
+    write_result(result, args.out)
+    print(
+        f"{result['workload']}: {result['shards']} shards / {result['queries']} queries; "
+        f"1% delta warm {result['warm_sec']:.3f}s vs cold monolithic "
+        f"{result['cold_monolithic_sec']:.2f}s ({result['speedup']:.1f}x) and "
+        f"cold incremental {result['cold_incremental_sec']:.2f}s "
+        f"({result['speedup_vs_cold_incremental']:.1f}x); "
+        f"{result['reused_profiles']}/{result['shards']} profiles reused; "
+        f"warm identical to cold, certificate-verified"
+    )
+    if result["speedup"] < TARGET_SPEEDUP:
+        print(f"WARNING: warm re-plan speedup below target {TARGET_SPEEDUP}x")
+        return 1
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -197,6 +197,11 @@ class CompiledWorkload:
 
     def __init__(self, workload: "ClassifierWorkload") -> None:
         self.workload = workload
+        #: Workload version this view was compiled against; a mutation
+        #: bumps the workload's counter, `compile_workload` then drops
+        #: this view, and any holder that kept it raises through
+        #: :meth:`assert_current` instead of serving pre-mutation masks.
+        self.version: int = getattr(workload, "version", 0)
         self.queries: Tuple = workload.queries
         self.space = PropertySpace.from_collections(self.queries)
         space = self.space
@@ -234,6 +239,17 @@ class CompiledWorkload:
         # Lazy: property-bit → relevant classifier masks, mask → cost.
         self._bit_classifiers: Optional[List[List[int]]] = None
         self._cost_table: Optional[Dict[int, float]] = None
+
+    def assert_current(self) -> None:
+        """Raise :class:`StaleWorkloadError` if the workload mutated since compile."""
+        if getattr(self.workload, "version", 0) != self.version:
+            from repro.core.errors import StaleWorkloadError
+
+            raise StaleWorkloadError(
+                f"compiled workload built at version {self.version} read after "
+                f"mutation to version {self.workload.version}; recompile via "
+                f"compile_workload()"
+            )
 
     # ------------------------------------------------------------------
     # translation
@@ -335,13 +351,19 @@ _COMPILED: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
 def compile_workload(workload: "ClassifierWorkload") -> CompiledWorkload:
-    """The memoized compiled view of ``workload`` (one per instance).
+    """The memoized compiled view of ``workload`` (one per instance version).
 
     Held in a weak-keyed side table so workload pickling (process
-    fan-out) and fingerprinting never see the compiled state.
+    fan-out) and fingerprinting never see the compiled state.  The memo
+    is keyed on the workload's mutation counter: a delta application
+    bumps ``workload.version``, the stale view is dropped here, and a
+    fresh compile replaces it — callers holding the old view directly
+    (e.g. a coverage tracker built before the mutation) raise
+    :class:`~repro.core.errors.StaleWorkloadError` instead of reading
+    pre-mutation masks.
     """
     compiled = _COMPILED.get(workload)
-    if compiled is None:
+    if compiled is None or compiled.version != getattr(workload, "version", 0):
         compiled = CompiledWorkload(workload)
         _COMPILED[workload] = compiled
     return compiled

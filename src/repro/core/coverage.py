@@ -18,7 +18,6 @@ differential suite (``tests/test_bitset.py``) holds them to it.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.bitset import QueryInterner, active_engine, compile_workload
@@ -283,10 +282,23 @@ class CoverageTracker:
     def __init__(self, workload: ClassifierWorkload) -> None:
         CoverageTracker.constructed += 1
         self._workload = workload
+        # Workload version this tracker was built against: any mutation of
+        # the workload (the delta API) invalidates every per-query missing
+        # set here, so reads after a mutation raise instead of answering
+        # for a query set that no longer exists.
+        self._workload_version = getattr(workload, "version", 0)
         self._covered: Set[Query] = set()
         self._selected: Set[Classifier] = set()
         self._utility = 0.0
         self._spent = 0.0
+        # Insertion-order histories backing :meth:`remove`'s total
+        # recomputation: classifiers in the order they were added, and
+        # covered queries in the order they flipped covered (the bits
+        # backend stores compiled positions).  ``remove`` replays these to
+        # rebuild ``spent``/``utility`` instead of subtracting floats, so
+        # remove/add round-trips restore the totals bit-for-bit.
+        self._add_order: List[Classifier] = []
+        self._covered_order: List = []
         # Undo log: entries appended only while a checkpoint is active.
         # Each entry is (classifier, newly_covered, {query-key: props/mask
         # removed}) — the per-query delta representation is backend-owned.
@@ -305,6 +317,17 @@ class CoverageTracker:
         self._missing: Dict[Query, Set[str]] = {
             q: set(q) for q in self._workload.queries
         }
+
+    def _check_current(self) -> None:
+        """Raise if the workload mutated after this tracker was built."""
+        if getattr(self._workload, "version", 0) != self._workload_version:
+            from repro.core.errors import StaleWorkloadError
+
+            raise StaleWorkloadError(
+                f"tracker built at workload version {self._workload_version} "
+                f"used after mutation to version {self._workload.version}; "
+                f"build a fresh CoverageTracker for the mutated workload"
+            )
 
     @property
     def selected(self) -> FrozenSet[Classifier]:
@@ -359,6 +382,7 @@ class CoverageTracker:
         The IG2 scoring kernel, summed in workload order under both
         backends so float accumulation is engine-identical.
         """
+        self._check_current()
         total = 0.0
         for query in self._workload.queries_containing(classifier):
             if query not in self._covered:
@@ -376,6 +400,7 @@ class CoverageTracker:
         is engine-identical.  Counted as a rollback in the engine
         telemetry (state is restored by delta replay).
         """
+        self._check_current()
         newly: List[Query] = []
         touched: List[Tuple[Set[str], Set[str]]] = []
         workload = self._workload
@@ -409,9 +434,11 @@ class CoverageTracker:
 
     def add(self, classifier: Classifier) -> List[Query]:
         """Select ``classifier``; return queries that became covered."""
+        self._check_current()
         if classifier in self._selected:
             return []
         self._selected.add(classifier)
+        self._add_order.append(classifier)
         self._spent += self._workload.cost(classifier)
         logging = bool(self._checkpoints)
         removed: Dict[Query, Set[str]] = {}
@@ -433,6 +460,7 @@ class CoverageTracker:
                 newly_covered.append(query)
         if logging:
             self._undo.append((classifier, newly_covered, removed))
+        self._covered_order.extend(newly_covered)
         return newly_covered
 
     def add_all(self, classifiers: Iterable[Classifier]) -> List[Query]:
@@ -452,12 +480,18 @@ class CoverageTracker:
         one.  While any checkpoint is active, :meth:`remove` is forbidden
         (the undo log only records additive deltas).
         """
+        self._check_current()
         self._checkpoints.append((len(self._undo), self._utility, self._spent))
         return len(self._checkpoints)
 
     def _undo_one(self) -> None:
         classifier, newly_covered, removed = self._undo.pop()
         self._selected.discard(classifier)
+        # Unwinding is LIFO and remove() is forbidden inside a checkpoint,
+        # so this add's history entries are exactly the list tails.
+        self._add_order.pop()
+        if newly_covered:
+            del self._covered_order[-len(newly_covered):]
         for query in newly_covered:
             self._covered.discard(query)
         for query, delta in removed.items():
@@ -479,26 +513,45 @@ class CoverageTracker:
         self._spent = spent_snapshot
         self.rollbacks += 1
 
-    def _remove_spent(self, classifier: Classifier) -> None:
-        cost = self._workload.cost(classifier)
-        if math.isinf(cost):
-            self._spent = sum(self._workload.cost(c) for c in self._selected)
-        else:
-            self._spent -= cost
+    def _replay_utility(self) -> float:
+        """Re-sum covered utility in original coverage order (backend hook)."""
+        total = 0.0
+        for query in self._covered_order:
+            total += self._workload.utility(query)
+        return total
+
+    def _replay_totals(self) -> None:
+        """Recompute ``spent``/``utility`` by replaying insertion order.
+
+        Re-running the exact additions the surviving history performed —
+        in their original order, minus the removed entries — produces the
+        floats a tracker that never saw the removed classifier would hold.
+        That makes remove/add round-trips restore totals bit-for-bit under
+        both engines, with no ``-=`` accumulation drift and no
+        ``inf - inf`` hazard for unbuildable classifiers.
+        """
+        workload = self._workload
+        spent = 0.0
+        for classifier in self._add_order:
+            spent += workload.cost(classifier)
+        self._spent = spent
+        self._utility = self._replay_utility()
 
     def remove(self, classifier: Classifier) -> List[Query]:
         """Deselect ``classifier``; return queries that became uncovered.
 
         Missing sets are recomputed only for the queries containing
-        ``classifier``, from the remaining selected subset classifiers.
+        ``classifier``, from the remaining selected subset classifiers;
+        ``spent``/``utility`` are rebuilt by :meth:`_replay_totals`.
         Not allowed while a checkpoint is active.
         """
+        self._check_current()
         if self._checkpoints:
             raise RuntimeError("remove() is not allowed inside a checkpoint")
         if classifier not in self._selected:
             return []
         self._selected.discard(classifier)
-        self._remove_spent(classifier)
+        self._add_order.remove(classifier)
         newly_uncovered: List[Query] = []
         for query in self._workload.queries_containing(classifier):
             union: Set[str] = set()
@@ -508,8 +561,11 @@ class CoverageTracker:
             self._missing[query] = missing
             if missing and query in self._covered:
                 self._covered.discard(query)
-                self._utility -= self._workload.utility(query)
                 newly_uncovered.append(query)
+        if newly_uncovered:
+            gone = set(newly_uncovered)
+            self._covered_order = [q for q in self._covered_order if q not in gone]
+        self._replay_totals()
         return newly_uncovered
 
     def reset(self) -> None:
@@ -519,6 +575,8 @@ class CoverageTracker:
         self._selected.clear()
         self._utility = 0.0
         self._spent = 0.0
+        self._add_order.clear()
+        self._covered_order.clear()
         self._undo.clear()
         self._checkpoints.clear()
 
@@ -577,7 +635,15 @@ class BitsetCoverageTracker(CoverageTracker):
             c for c, m in self._selected_masks.items() if not m & ~qmask
         )
 
+    def _replay_utility(self) -> float:
+        utilities = self._compiled.utilities
+        total = 0.0
+        for qidx in self._covered_order:
+            total += utilities[qidx]
+        return total
+
     def uncovered_contained_utility(self, classifier: Classifier) -> float:
+        self._check_current()
         compiled = self._compiled
         cmask = compiled.mask_of(classifier)
         if not cmask:
@@ -615,6 +681,7 @@ class BitsetCoverageTracker(CoverageTracker):
         # pair applies the whole trial to every query at once.  Queries
         # with no remaining missing property across all per-property
         # bitmaps became covered.
+        self._check_current()
         self.rollbacks += 1
         compiled = self._compiled
         mask_of = compiled.mask_of
@@ -689,9 +756,11 @@ class BitsetCoverageTracker(CoverageTracker):
         return sum(utilities[qidx] for qidx in newly)
 
     def add(self, classifier: Classifier) -> List[Query]:
+        self._check_current()
         if classifier in self._selected:
             return []
         self._selected.add(classifier)
+        self._add_order.append(classifier)
         self._spent += self._workload.cost(classifier)
         logging = bool(self._checkpoints)
         removed: List[Tuple[int, int]] = []
@@ -724,12 +793,16 @@ class BitsetCoverageTracker(CoverageTracker):
             self._utility = utility
         if logging:
             self._undo.append((classifier, newly_idx, removed))
+        self._covered_order.extend(newly_idx)
         queries = compiled.queries
         return [queries[i] for i in newly_idx]
 
     def _undo_one(self) -> None:
         classifier, newly_idx, removed = self._undo.pop()
         self._selected.discard(classifier)
+        self._add_order.pop()
+        if newly_idx:
+            del self._covered_order[-len(newly_idx):]
         self._selected_masks.pop(classifier, None)
         covered = self._covered
         covered_queries = self._covered_queries
@@ -744,13 +817,15 @@ class BitsetCoverageTracker(CoverageTracker):
             missing[qidx] = old
 
     def remove(self, classifier: Classifier) -> List[Query]:
+        self._check_current()
         if self._checkpoints:
             raise RuntimeError("remove() is not allowed inside a checkpoint")
         if classifier not in self._selected:
             return []
         self._selected.discard(classifier)
-        self._remove_spent(classifier)
+        self._add_order.remove(classifier)
         newly_uncovered: List[Query] = []
+        uncovered_idx: List[int] = []
         compiled = self._compiled
         cmask = self._selected_masks.pop(classifier, None)
         if cmask:
@@ -768,6 +843,10 @@ class BitsetCoverageTracker(CoverageTracker):
                 if miss and qidx in self._covered:
                     self._covered.discard(qidx)
                     self._covered_queries.discard(compiled.queries[qidx])
-                    self._utility -= compiled.utilities[qidx]
+                    uncovered_idx.append(qidx)
                     newly_uncovered.append(compiled.queries[qidx])
+        if uncovered_idx:
+            gone = set(uncovered_idx)
+            self._covered_order = [q for q in self._covered_order if q not in gone]
+        self._replay_totals()
         return newly_uncovered

@@ -11,6 +11,24 @@ class InvalidInstanceError(ReproError):
     """A problem instance violates the model's input contract."""
 
 
+class InvalidDeltaError(InvalidInstanceError):
+    """A :class:`~repro.incremental.delta.WorkloadDelta` does not apply to
+    the workload it was given (unknown query, duplicate add, emptying
+    removal, invalid utility or cost value)."""
+
+
+class StaleWorkloadError(ReproError):
+    """A cached view outlived a workload mutation.
+
+    Every workload mutation bumps ``ClassifierWorkload.version``; compiled
+    bitmask views and coverage trackers record the version they were built
+    against and raise this instead of serving coverage derived from the
+    pre-mutation query set.  Catching it is never the fix — rebuild the
+    view (``compile_workload`` does so automatically) or construct a fresh
+    tracker for the mutated workload.
+    """
+
+
 class BudgetExceededError(ReproError):
     """A produced solution exceeds the budget — indicates a solver bug."""
 

@@ -15,6 +15,7 @@ import itertools
 import math
 from collections import Counter
 from typing import (
+    TYPE_CHECKING,
     Dict,
     FrozenSet,
     Iterable,
@@ -26,8 +27,11 @@ from typing import (
     Tuple,
 )
 
-from repro.core.errors import InvalidInstanceError
+from repro.core.errors import InvalidDeltaError, InvalidInstanceError
 from repro.core.properties import PropertySet
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.incremental.delta import WorkloadDelta  # noqa: F401
 
 Query = PropertySet
 Classifier = PropertySet
@@ -110,10 +114,19 @@ class ClassifierWorkload:
             self._costs[classifier] = float(value)
         self.default_utility = float(default_utility)
         self.default_cost = float(default_cost)
+        #: Mutation counter: bumped by every in-place mutation (the delta
+        #: API).  Derived views — the compiled bitmask workload, coverage
+        #: trackers — record the version they were built against; a stale
+        #: view raises :class:`~repro.core.errors.StaleWorkloadError`
+        #: instead of serving coverage for a query set that no longer
+        #: exists.
+        self.version: int = 0
         self._relevant_cache: Optional[FrozenSet[Classifier]] = None
         self._property_index: Optional[Dict[str, List[Query]]] = None
         self._classifier_index: Optional[Dict[str, List[Classifier]]] = None
         self._containing_cache: Dict[PropertySet, Tuple[Query, ...]] = {}
+        #: Version the memoized containing/index caches were filled at.
+        self._containing_version: int = 0
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -210,7 +223,17 @@ class ClassifierWorkload:
         classifier, so the cache can never grow beyond ``|CL|`` entries
         no matter what callers probe; irrelevant probes (empty result)
         are recomputed, which is cheap through the rarest-property list.
+
+        The memo is keyed on :attr:`version`: mutations clear it eagerly,
+        and the version recorded at fill time is re-checked on every read
+        so a row filled against an older query set can never be served
+        (belt and braces — a subclass that mutated state without going
+        through the mutators would otherwise leak stale coverage).
         """
+        if self._containing_version != self.version:
+            self._containing_cache.clear()
+            self._property_index = None
+            self._containing_version = self.version
         cached = self._containing_cache.get(properties)
         if cached is not None:
             return cached
@@ -332,6 +355,126 @@ class ClassifierWorkload:
             default_cost=self.default_cost,
         )
 
+    # ------------------------------------------------------------------
+    # mutation: the WorkloadDelta API (dynamic BCC)
+    # ------------------------------------------------------------------
+    def _bump_version(self) -> None:
+        """Invalidate every derived cache after an in-place mutation."""
+        self.version += 1
+        self._relevant_cache = None
+        self._property_index = None
+        self._classifier_index = None
+        self._containing_cache.clear()
+        self._containing_version = self.version
+
+    def add_query(self, query: Query, utility: Optional[float] = None) -> None:
+        """Append ``query`` to the workload (optionally with an explicit utility).
+
+        Bumps :attr:`version`; the new query takes the last workload
+        position, so positions of existing queries — and every tie-break
+        that depends on workload order — are unchanged.
+        """
+        _validate_query(query)
+        if query in self._query_set:
+            raise InvalidDeltaError(f"add of duplicate query {sorted(query)}")
+        if utility is not None:
+            if not utility > 0 or math.isinf(utility):
+                raise InvalidDeltaError(
+                    f"utilities must be finite and positive, got {utility} "
+                    f"for {sorted(query)}"
+                )
+        self.queries = self.queries + (query,)
+        self._query_set = frozenset(self.queries)
+        if utility is not None:
+            self._utilities[query] = float(utility)
+        self._bump_version()
+
+    def remove_query(self, query: Query) -> None:
+        """Drop ``query`` from the workload (its explicit utility with it).
+
+        Explicit classifier costs are kept even when the removed query was
+        the last one making them relevant: a cost is a statement about the
+        classifier, not about any query, and keeping it means an
+        add-then-remove round trip restores the exact original instance.
+        """
+        if query not in self._query_set:
+            raise InvalidDeltaError(f"remove of unknown query {sorted(query)}")
+        if len(self.queries) == 1:
+            raise InvalidDeltaError("removal would leave an empty query set")
+        self.queries = tuple(q for q in self.queries if q != query)
+        self._query_set = frozenset(self.queries)
+        self._utilities.pop(query, None)
+        self._bump_version()
+
+    def set_utility(self, query: Query, utility: Optional[float]) -> None:
+        """Reprice a query's utility; ``None`` reverts to the default.
+
+        Reverting deletes the explicit entry (rather than writing the
+        default's value) so a reprice-then-revert round trip restores the
+        original explicit/default split — and hence the original
+        fingerprint token stream.
+        """
+        if query not in self._query_set:
+            raise InvalidDeltaError(f"utility for unknown query {sorted(query)}")
+        if utility is None:
+            self._utilities.pop(query, None)
+        else:
+            if not utility > 0 or math.isinf(utility):
+                raise InvalidDeltaError(
+                    f"utilities must be finite and positive, got {utility} "
+                    f"for {sorted(query)}"
+                )
+            self._utilities[query] = float(utility)
+        self._bump_version()
+
+    def set_cost(self, classifier: Classifier, cost: Optional[float]) -> None:
+        """Reprice a classifier; ``None`` reverts to the default cost."""
+        if not isinstance(classifier, frozenset) or not classifier:
+            raise InvalidDeltaError(
+                f"classifier keys must be non-empty frozensets, got {classifier!r}"
+            )
+        if cost is None:
+            self._costs.pop(classifier, None)
+        else:
+            if cost < 0:
+                raise InvalidDeltaError(
+                    f"costs must be >= 0 (math.inf allowed), got {cost}"
+                )
+            self._costs[classifier] = float(cost)
+        self._bump_version()
+
+    def apply_delta(self, delta: "WorkloadDelta") -> "ClassifierWorkload":
+        """Apply a :class:`~repro.incremental.delta.WorkloadDelta` in place.
+
+        The delta is validated in full before the first mutation, so an
+        invalid delta raises :class:`~repro.core.errors.InvalidDeltaError`
+        without touching the workload.  Application order is removals,
+        additions, utility reprices, cost reprices; :attr:`version` is
+        bumped once per individual mutation.  Returns ``self``.
+        """
+        delta.validate(self)
+        for query in delta.remove:
+            self.remove_query(query)
+        for query, utility in delta.add:
+            self.add_query(query, utility)
+        for query, utility in delta.utilities:
+            self.set_utility(query, utility)
+        for classifier, cost in delta.costs:
+            self.set_cost(classifier, cost)
+        return self
+
+    def clone(self) -> "ClassifierWorkload":
+        """An independent copy sharing no mutable state (version reset).
+
+        The copy preserves query order, the explicit/default utility and
+        cost splits, and the budget/target of instance subclasses — it is
+        the cold-solve baseline of the incremental engine's equivalence
+        harness.
+        """
+        return self._restricted(
+            list(self.queries), dict(self._utilities), dict(self._costs)
+        )
+
     def length_histogram(self) -> Counter:
         """Counter of query lengths."""
         return Counter(len(q) for q in self.queries)
@@ -415,9 +558,38 @@ class GMC3Instance(ClassifierWorkload):
             default_cost=self.default_cost,
         )
 
+    def _restricted(
+        self,
+        queries: List[Query],
+        utilities: Dict[Query, float],
+        costs: Dict[Classifier, float],
+    ) -> "GMC3Instance":
+        return GMC3Instance(
+            queries,
+            utilities,
+            costs,
+            target=self.target,
+            default_utility=self.default_utility,
+            default_cost=self.default_cost,
+        )
+
 
 class ECCInstance(ClassifierWorkload):
     """Effective Classifier Construction input ``⟨Q, U, C⟩`` (Definition 5.2)."""
+
+    def _restricted(
+        self,
+        queries: List[Query],
+        utilities: Dict[Query, float],
+        costs: Dict[Classifier, float],
+    ) -> "ECCInstance":
+        return ECCInstance(
+            queries,
+            utilities,
+            costs,
+            default_utility=self.default_utility,
+            default_cost=self.default_cost,
+        )
 
     def as_bcc(self, budget: float) -> BCCInstance:
         return BCCInstance(

@@ -31,9 +31,10 @@ cannot go unnoticed.
 from __future__ import annotations
 
 import math
+import os
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.core.errors import DecompositionError
 from repro.core.model import BCCInstance, Classifier
@@ -41,10 +42,32 @@ from repro.core.solution import Solution, evaluate
 from repro.decompose.allocator import ProfilePoint, allocate, budget_grid
 from repro.decompose.partition import WorkloadPartition, partition_workload
 from repro.parallel.cache import ResultCache
-from repro.parallel.pool import ParallelConfig, SolveTask, TaskResult, run_tasks
+from repro.parallel.pool import ParallelConfig, SolveTask, TaskResult, resolve_jobs, run_tasks
 from repro.parallel.seeding import seed_for
 
 _TOL = 1e-9
+
+#: Below this many queries a shard solve is cheaper than shipping it to a
+#: worker process, so batches made only of such shards run in-process.
+TINY_SHARD_QUERIES = 16
+
+
+def effective_jobs(jobs: Optional[int], tasks: Sequence[SolveTask]) -> int:
+    """Worker count actually worth using for this batch.
+
+    ``resolve_jobs`` answers what the caller *allows*; this clamps it by
+    what the machine and the batch can *use*: never more workers than
+    CPUs or tasks, and serial when every task is tiny (fork + pickle
+    overhead dwarfs a sub-millisecond shard solve — the cold fan-out
+    regression of BENCH_decompose on single-CPU hosts).
+    """
+    allowed = resolve_jobs(jobs)
+    allowed = min(allowed, os.cpu_count() or 1, max(1, len(tasks)))
+    if allowed > 1 and all(
+        task.instance.num_queries < TINY_SHARD_QUERIES for task in tasks
+    ):
+        return 1
+    return allowed
 
 
 @dataclass
@@ -114,7 +137,15 @@ def solve_bcc_sharded(
         # Non-binding budget: each shard saturates independently, the
         # recombination is tension-free, and the union is exact relative
         # to the inner solver (equal to the monolithic solve's utility).
-        grids = [[total] for total in totals]
+        # Shards are solved at the *global* budget, not their saturation
+        # total: a shard cannot usefully spend past its total either way,
+        # but the surplus slack keeps the inner solver on the same cheap
+        # large-budget paths the monolithic solve takes (solving at the
+        # exact saturation point forced the hard mid-k HkS regime on
+        # every shard — the cold fan-out regression of BENCH_decompose).
+        grids = [
+            [budget if math.isfinite(budget) else total] for total in totals
+        ]
         path_hint = "non-binding"
     else:
         grids = [
@@ -137,8 +168,9 @@ def solve_bcc_sharded(
                     certify=certify,
                 )
             )
+    jobs = effective_jobs(config.jobs, tasks)
     results = run_tasks(
-        tasks, ParallelConfig(jobs=config.jobs, cache=config.cache)
+        tasks, ParallelConfig(jobs=jobs, cache=config.cache)
     )
     by_key: Dict[str, TaskResult] = {result.key: result for result in results}
 
@@ -155,8 +187,16 @@ def solve_bcc_sharded(
             ]
         )
 
-    allocated_utility, chosen, path = allocate(profiles, budget)
-    if path_hint is not None:
+    if path_hint is None:
+        allocated_utility, chosen, path = allocate(profiles, budget)
+    else:
+        # Non-binding: the allocation is trivially "every shard's single
+        # saturation point" — the grouped-knapsack DP would grind through
+        # the full budget for the same answer.
+        chosen = [points[0] if points else None for points in profiles]
+        allocated_utility = sum(
+            point.utility for point in chosen if point is not None
+        )
         path = path_hint
 
     selection: Set[Classifier] = set()
@@ -180,6 +220,7 @@ def solve_bcc_sharded(
             "inner_solver": config.inner_solver,
             "decompose": {
                 "shards": partition.num_shards,
+                "jobs": jobs,
                 "path": path,
                 "grid_sizes": [len(grid) for grid in grids],
                 "shard_budgets": [

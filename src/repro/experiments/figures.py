@@ -514,6 +514,87 @@ def figfrag(
     return result
 
 
+def figdrift(
+    scale: Scale = SMALL, seed: int = 0, parallel: Optional[ParallelConfig] = None
+) -> FigureResult:
+    """Dynamic-BCC figure: warm re-plan speedup vs workload delta size.
+
+    Not a paper figure — it drives :mod:`repro.incremental` through
+    random deltas of growing size on a fragmented workload and reports
+    how much faster the warm re-plan is than re-solving the mutated
+    instance from scratch (cold monolithic ``A^BCC``, and a cold run of
+    the incremental pipeline itself).  The warm solution is checked
+    bit-identical to the cold incremental one at every point.  The value
+    column is a wall-clock ratio, so the determinism harness compares
+    solutions, not values.
+    """
+    import random as _random
+    import time as _time
+
+    from repro.algorithms.bcc import solve_bcc
+    from repro.incremental import IncrementalConfig, IncrementalSolver, random_delta
+
+    components = {"micro": 10, "tiny": 20, "small": 30}.get(scale.name, 60)
+    base = generate_fragmented(
+        n_components=components,
+        queries_per_component=10,
+        budget=1_000_000.0,
+        seed=seed,
+    )
+    config = IncrementalConfig(
+        certify=True, jobs=None if parallel is None else parallel.jobs
+    )
+    result = FigureResult(
+        figure="figdrift",
+        title="Warm re-plan speedup by delta size (dynamic BCC)",
+        x_label="delta size (fraction of queries edited)",
+        value_label="cold / warm re-plan time (higher is better)",
+    )
+    result.notes.append(f"workload: {components} components x 10 queries")
+    for fraction in (0.01, 0.05, 0.10, 0.25):
+        solver = IncrementalSolver(base.clone(), config, seed=seed)
+        solver.solve()
+        delta = random_delta(
+            solver.instance,
+            _random.Random(seed + round(fraction * 100)),
+            fraction=fraction,
+        )
+        started = _time.perf_counter()
+        warm = solver.resolve_delta(delta)
+        warm_sec = _time.perf_counter() - started
+
+        mutated = solver.instance
+        started = _time.perf_counter()
+        solve_bcc(mutated.clone())
+        mono_sec = _time.perf_counter() - started
+
+        started = _time.perf_counter()
+        cold = IncrementalSolver(mutated.clone(), config, seed=seed).solve()
+        cold_sec = _time.perf_counter() - started
+        if (warm.classifiers, warm.utility, warm.cost) != (
+            cold.classifiers,
+            cold.utility,
+            cold.cost,
+        ):
+            raise AssertionError(
+                f"figdrift: warm re-plan diverged from cold at delta {fraction}"
+            )
+        result.add(
+            fraction,
+            "vs cold monolithic",
+            mono_sec / warm_sec,
+            warm_sec + mono_sec,
+            solution=warm,
+        )
+        result.add(
+            fraction,
+            "vs cold incremental",
+            cold_sec / warm_sec,
+            warm_sec + cold_sec,
+        )
+    return result
+
+
 ALL_FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig3a": fig3a,
     "fig3b": fig3b,
@@ -528,4 +609,5 @@ ALL_FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig4e": fig4e,
     "fig4f": fig4f,
     "figfrag": figfrag,
+    "figdrift": figdrift,
 }

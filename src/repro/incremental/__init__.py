@@ -1,0 +1,40 @@
+"""Dynamic BCC: workload deltas and warm-started re-solving.
+
+Workloads evolve — queries arrive and retire, utilities drift,
+classifier prices change — and re-planning from scratch after every edit
+throws away almost everything the previous solve computed.  This package
+makes BCC planning *incremental*:
+
+- :class:`~repro.incremental.delta.WorkloadDelta` describes one atomic
+  batch of edits, validated up front and invertible
+  (:meth:`~repro.incremental.delta.WorkloadDelta.inverse`);
+- :class:`~repro.incremental.partition.DynamicPartition` maintains the
+  shard decomposition across edits (incremental union for adds, local
+  rebuilds for deletes and usability flips);
+- :class:`~repro.incremental.engine.IncrementalSolver` /
+  :func:`~repro.incremental.engine.resolve_delta` re-solve only the
+  shards a delta touches, reusing solved pareto profiles through a
+  content-addressed store, and return a solution identical to — and
+  certified like — a cold solve of the mutated instance.
+
+See the "Incremental re-solve" section of ``docs/ALGORITHMS.md``.
+"""
+
+from repro.incremental.delta import WorkloadDelta, random_delta
+from repro.incremental.engine import (
+    IncrementalConfig,
+    IncrementalSolver,
+    ShardProfile,
+    resolve_delta,
+)
+from repro.incremental.partition import DynamicPartition
+
+__all__ = [
+    "WorkloadDelta",
+    "random_delta",
+    "DynamicPartition",
+    "IncrementalConfig",
+    "IncrementalSolver",
+    "ShardProfile",
+    "resolve_delta",
+]

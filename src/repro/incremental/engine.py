@@ -1,0 +1,491 @@
+"""The delta re-solve engine: warm-start BCC planning after workload edits.
+
+:class:`IncrementalSolver` owns a mutable :class:`BCCInstance` and keeps,
+between solves, everything a cold :func:`repro.decompose.solve_bcc_sharded`
+run would recompute from scratch:
+
+- the shard partition, maintained incrementally by
+  :class:`~repro.incremental.partition.DynamicPartition`;
+- solved per-shard pareto profiles, stored *content-addressed* under the
+  shard's budget-free :func:`~repro.parallel.fingerprint.workload_fingerprint`
+  — a shard untouched by a delta re-keys to the same fingerprint no
+  matter how the other shards merged or split, so its profile (and every
+  inner solve behind it) is reused verbatim.
+
+``resolve_delta`` applies a :class:`~repro.incremental.delta.WorkloadDelta`,
+patches the partition, re-solves only the shards whose fingerprints
+missed, re-runs the grouped-knapsack recombination over the (mostly
+cached) profiles, and re-scores the union selection from first
+principles.  The result is *identical* to a cold solve of the mutated
+instance — same pipeline, same profiles, same allocator — and with
+``certify`` every warm solution carries a first-principles
+:class:`~repro.verify.certificate.SolutionCertificate`.
+
+The selection union is additionally replayed through a fresh
+:class:`~repro.core.coverage.CoverageTracker` using the checkpoint /
+rollback undo log: clean-shard classifiers first, checkpoint, dirty-shard
+classifiers, rollback, re-apply — asserting that the patched coverage
+state is bit-identical to the straight-through replay.  That exercises
+the tracker's undo machinery on every re-plan, so a drifting rollback
+cannot hide behind the evaluator.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.coverage import CoverageTracker
+from repro.core.errors import DecompositionError
+from repro.core.model import BCCInstance, Classifier
+from repro.core.solution import Solution, evaluate
+from repro.decompose.allocator import ProfilePoint, allocate, budget_grid
+from repro.decompose.solver import (
+    _TOL,
+    _check_composition,
+    _finite_costs,
+    _shard_finite_total,
+    effective_jobs,
+)
+from repro.incremental.delta import WorkloadDelta
+from repro.incremental.partition import DynamicPartition
+from repro.parallel.cache import ResultCache
+from repro.parallel.fingerprint import shard_fingerprints, workload_fingerprint
+from repro.parallel.pool import ParallelConfig, SolveTask, run_tasks
+from repro.parallel.seeding import seed_for
+
+#: Shard profiles kept in the content-addressed store (LRU beyond this).
+MAX_STORED_PROFILES = 256
+
+
+@dataclass
+class IncrementalConfig:
+    """Tuning knobs for :class:`IncrementalSolver`.
+
+    Attributes:
+        inner_solver: registry name of the per-shard solver.
+        max_grid_points: per-shard budget-grid cap under a binding budget.
+        jobs: worker processes for dirty-shard fan-out (``None`` defers to
+            ``REPRO_JOBS``; tiny batches run serially either way).
+        cache: optional :class:`ResultCache` shared with the task layer.
+        certify: attach a first-principles certificate to every result.
+        check_partition: run :meth:`DynamicPartition.check` after every
+            delta (debug backstop; quadratic-ish, keep off in production).
+    """
+
+    inner_solver: str = "abcc"
+    max_grid_points: int = 12
+    jobs: Optional[int] = None
+    cache: Optional[ResultCache] = field(default=None, repr=False)
+    certify: bool = True
+    check_partition: bool = False
+
+
+@dataclass
+class ShardProfile:
+    """Everything solved about one shard, keyed by its content fingerprint."""
+
+    fingerprint: str
+    total: float  #: saturation budget (sum of finite relevant costs)
+    grid: Tuple[float, ...]
+    points: Tuple[ProfilePoint, ...]
+    solutions: Dict[str, Solution]  #: profile-point key → shard solution
+
+
+class IncrementalSolver:
+    """Stateful warm re-solver for a mutable BCC instance."""
+
+    def __init__(
+        self,
+        instance: BCCInstance,
+        config: Optional[IncrementalConfig] = None,
+        seed: Optional[int] = None,
+    ) -> None:
+        self.instance = instance
+        self.config = config or IncrementalConfig()
+        self.seed = seed
+        self._partition: Optional[DynamicPartition] = None
+        self._profiles: "OrderedDict[str, ShardProfile]" = OrderedDict()
+        self._max_profiles = MAX_STORED_PROFILES
+        self._adopted: Dict[str, Tuple[Classifier, ...]] = {}
+        self.last_solution: Optional[Solution] = None
+        self.deltas_applied = 0
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def solve(self) -> Solution:
+        """Cold solve of the current instance (also primes the warm state)."""
+        self._partition = DynamicPartition(self.instance)
+        return self._resolve(delta=None)
+
+    def resolve_delta(self, delta: WorkloadDelta) -> Solution:
+        """Apply ``delta`` and re-plan, reusing every untouched shard.
+
+        The delta is validated against the current instance before any
+        mutation; the workload mutates in place (bumping its version, so
+        stale compiled views and trackers fail loudly), the partition is
+        patched incrementally, and only fingerprint-missing shards are
+        re-solved.
+        """
+        delta.validate(self.instance)
+        if self._partition is None:
+            self._partition = DynamicPartition(self.instance)
+        old_costs = [
+            (classifier, self.instance.cost(classifier))
+            for classifier, _ in delta.costs
+        ]
+        self.instance.apply_delta(delta)
+        partition = self._partition
+        for query in delta.remove:
+            partition.note_removed(query)
+        for query, _ in delta.add:
+            partition.note_added(query)
+        for query, _ in delta.utilities:
+            partition.note_utility(query)
+        for (classifier, old), (_, _new) in zip(old_costs, delta.costs):
+            partition.note_cost(classifier, old, self.instance.cost(classifier))
+        if self.config.check_partition:
+            partition.check()
+        self.deltas_applied += 1
+        return self._resolve(delta=delta)
+
+    def adopt(self, solution: Solution) -> int:
+        """Warm-start from a previous solution's per-shard selections.
+
+        Splits ``solution.classifiers`` by current shard and records each
+        shard's sub-selection; on the next non-binding re-plan a shard
+        whose profile is missing re-scores its adopted selection instead
+        of running the inner solver (exact when the adopting solve is the
+        one that produced ``solution``, since a saturated shard's
+        selection is budget-independent).  Returns the number of shards
+        seeded.  Binding-budget re-plans ignore adoptions — a grid point
+        cannot be reconstructed from a single selection.
+        """
+        if self._partition is None:
+            self._partition = DynamicPartition(self.instance)
+        partition, _ = self._partition.materialize()
+        per_shard: Dict[int, List[Classifier]] = {}
+        for classifier in solution.classifiers:
+            for query in self.instance.queries_containing(classifier):
+                per_shard.setdefault(
+                    partition.query_to_shard[query], []
+                ).append(classifier)
+                break
+        seeded = 0
+        for index, classifiers in per_shard.items():
+            fingerprint = workload_fingerprint(partition.shard_workload(index))
+            self._adopted[fingerprint] = tuple(
+                sorted(set(classifiers), key=sorted)
+            )
+            seeded += 1
+        return seeded
+
+    # ------------------------------------------------------------------
+    # the re-plan pipeline
+    # ------------------------------------------------------------------
+    def _resolve(self, delta: Optional[WorkloadDelta]) -> Solution:
+        started = time.perf_counter()
+        config = self.config
+        instance = self.instance
+        budget = instance.budget
+        partition, dirty_indexes = self._partition.materialize()
+        # Every live shard's profile must survive the whole re-plan: the
+        # LRU floor tracks the partition width (evicting a live profile
+        # mid-resolve would fault when the allocation is assembled).
+        self._max_profiles = max(MAX_STORED_PROFILES, 2 * partition.num_shards)
+
+        # Fingerprints are computed in one pass over the parent workload;
+        # shard instances are only materialized for shards that actually
+        # need solving (a clean re-plan touches none of them).
+        fingerprints = shard_fingerprints(instance, partition.shards)
+        shard_cache: Dict[int, BCCInstance] = {}
+
+        def shard_at(index: int) -> BCCInstance:
+            if index not in shard_cache:
+                shard_cache[index] = partition.shard_instance(index, 0.0)
+            return shard_cache[index]
+
+        reused = [fp in self._profiles for fp in fingerprints]
+        totals = [
+            self._profiles[fp].total if hit else _shard_finite_total(shard_at(index))
+            for index, (fp, hit) in enumerate(zip(fingerprints, reused))
+        ]
+
+        non_binding = sum(totals) <= budget + _TOL
+        if non_binding:
+            # Solve saturated shards at the *global* budget (mirroring the
+            # cold sharded solver): the surplus slack keeps the inner
+            # solver on its cheap large-budget paths instead of the hard
+            # mid-k HkS regime a budget pinned at the saturation total
+            # forces.
+            point = budget if math.isfinite(budget) else None
+            grids: List[List[float]] = [
+                [total if point is None else point] for total in totals
+            ]
+            adopted = self._adopt_missing(partition, fingerprints, totals, grids)
+        else:
+            # Grids are recomputed from shard content every time (cheap next
+            # to a solve, and a profile stored on the non-binding path holds
+            # only the saturation point) so warm grids always equal cold ones.
+            grids = [
+                budget_grid(
+                    _finite_costs(shard_at(index)),
+                    budget,
+                    max_points=config.max_grid_points,
+                )
+                for index in range(partition.num_shards)
+            ]
+            adopted = 0
+
+        solved = self._solve_missing(shard_at, fingerprints, grids, totals)
+
+        profiles: List[List[ProfilePoint]] = []
+        by_key: Dict[str, Solution] = {}
+        for index, fp in enumerate(fingerprints):
+            profile = self._profiles[fp]
+            wanted = [f"b={point!r}" for point in grids[index]]
+            # Points are re-keyed under the *current* shard index so
+            # allocator keys stay batch-unique after re-partitioning.
+            points = []
+            for key in wanted:
+                if key not in profile.solutions:
+                    raise DecompositionError(
+                        f"shard {index} missing solved point {key} "
+                        f"(fingerprint {fp[:12]})"
+                    )
+                solution = profile.solutions[key]
+                points.append(
+                    ProfilePoint(
+                        cost=solution.cost,
+                        utility=solution.utility,
+                        key=f"s{index}/{key}",
+                    )
+                )
+                by_key[f"s{index}/{key}"] = solution
+            profiles.append(points)
+
+        if non_binding:
+            # Trivial allocation: every shard takes its single saturation
+            # point, so the grouped-knapsack DP is skipped entirely.
+            chosen: List[Optional[ProfilePoint]] = [
+                points[0] if points else None for points in profiles
+            ]
+            allocated_utility = sum(
+                point.utility for point in chosen if point is not None
+            )
+            path = "non-binding"
+        else:
+            allocated_utility, chosen, path = allocate(profiles, budget)
+
+        selection: Set[Classifier] = set()
+        shard_spends: List[float] = []
+        dirty_set = set(dirty_indexes)
+        clean_selection: List[Classifier] = []
+        dirty_selection: List[Classifier] = []
+        for index, point in enumerate(chosen):
+            if point is None:
+                shard_spends.append(0.0)
+                continue
+            solution = by_key[point.key]
+            selection.update(solution.classifiers)
+            shard_spends.append(solution.cost)
+            bucket = dirty_selection if index in dirty_set else clean_selection
+            bucket.extend(sorted(solution.classifiers, key=sorted))
+
+        self._patch_and_check(clean_selection, dirty_selection)
+
+        result = evaluate(
+            instance,
+            selection,
+            meta={
+                "algorithm": "A^BCC[incremental]",
+                "inner_solver": config.inner_solver,
+                "incremental": {
+                    "version": getattr(instance, "version", 0),
+                    "deltas_applied": self.deltas_applied,
+                    "delta_edits": 0 if delta is None else delta.num_edits,
+                    "shards": partition.num_shards,
+                    "dirty_shards": len(dirty_indexes),
+                    "reused_profiles": sum(reused),
+                    "solved_tasks": solved,
+                    "adopted_shards": adopted,
+                    "path": path,
+                    "grid_sizes": [len(grid) for grid in grids],
+                },
+                "runtime_sec": time.perf_counter() - started,
+            },
+        )
+        _check_composition(result, allocated_utility, shard_spends, list(chosen))
+        if config.certify:
+            from repro.verify.certificate import attach_certificate
+
+            result = attach_certificate(instance, result, budget=budget)
+        self._partition.mark_clean()
+        self.last_solution = result
+        return result
+
+    # ------------------------------------------------------------------
+    # shard-profile store
+    # ------------------------------------------------------------------
+    def _store(self, profile: ShardProfile) -> None:
+        self._profiles[profile.fingerprint] = profile
+        self._profiles.move_to_end(profile.fingerprint)
+        while len(self._profiles) > self._max_profiles:
+            self._profiles.popitem(last=False)
+
+    def _adopt_missing(
+        self,
+        partition,
+        fingerprints: Sequence[str],
+        totals: Sequence[float],
+        grids: Sequence[Sequence[float]],
+    ) -> int:
+        """Materialize adopted selections into saturation-point profiles."""
+        adopted = 0
+        for index, (fp, total) in enumerate(zip(fingerprints, totals)):
+            if fp in self._profiles or fp not in self._adopted:
+                continue
+            selection = self._adopted.pop(fp)
+            point = grids[index][0]
+            shard_solution = evaluate(
+                partition.shard_instance(index, point),
+                selection,
+                meta={"algorithm": f"{self.config.inner_solver}[adopted]"},
+            )
+            self._store(
+                ShardProfile(
+                    fingerprint=fp,
+                    total=total,
+                    grid=(point,),
+                    points=(
+                        ProfilePoint(
+                            cost=shard_solution.cost,
+                            utility=shard_solution.utility,
+                            key=f"b={point!r}",
+                        ),
+                    ),
+                    solutions={f"b={point!r}": shard_solution},
+                )
+            )
+            adopted += 1
+        return adopted
+
+    def _solve_missing(
+        self,
+        shard_at,
+        fingerprints: Sequence[str],
+        grids: Sequence[Sequence[float]],
+        totals: Sequence[float],
+    ) -> int:
+        """Run the inner solver for every (shard, point) not in the store.
+
+        Tasks are keyed and seeded by the shard *fingerprint*, not its
+        index, so a shard keeps its derived seeds (and its cache rows)
+        across re-partitionings.
+        """
+        config = self.config
+        tasks: List[SolveTask] = []
+        owners: List[Tuple[str, float]] = []
+        for index, (fp, grid) in enumerate(zip(fingerprints, grids)):
+            profile = self._profiles.get(fp)
+            for point in grid:
+                key = f"b={point!r}"
+                if profile is not None and key in profile.solutions:
+                    continue
+                tasks.append(
+                    SolveTask(
+                        key=f"{fp[:16]}/{key}",
+                        solver=config.inner_solver,
+                        instance=shard_at(index).with_budget(point),
+                        seed=seed_for(
+                            "incremental", config.inner_solver, self.seed, fp, float(point)
+                        ),
+                        certify=False,
+                    )
+                )
+                owners.append((fp, point))
+        if tasks:
+            jobs = effective_jobs(config.jobs, tasks)
+            results = run_tasks(
+                tasks, ParallelConfig(jobs=jobs, cache=config.cache)
+            )
+            for (fp, point), result in zip(owners, results):
+                profile = self._profiles.get(fp)
+                if profile is None:
+                    index = fingerprints.index(fp)
+                    profile = ShardProfile(
+                        fingerprint=fp,
+                        total=totals[index],
+                        grid=tuple(grids[index]),
+                        points=(),
+                        solutions={},
+                    )
+                profile.solutions[f"b={point!r}"] = result.solution
+                profile.grid = tuple(
+                    sorted(set(profile.grid) | {point})
+                )
+                self._store(profile)
+        return len(tasks)
+
+    # ------------------------------------------------------------------
+    # tracker patching: checkpoint / rollback integrity on every re-plan
+    # ------------------------------------------------------------------
+    def _patch_and_check(
+        self,
+        clean_selection: Sequence[Classifier],
+        dirty_selection: Sequence[Classifier],
+    ) -> None:
+        """Patch coverage in place and prove the undo log drift-free.
+
+        Replays the union selection on a fresh tracker as clean-shard
+        classifiers + checkpoint + dirty-shard classifiers, rolls the
+        dirty patch back, re-applies it, and requires the totals after
+        the rollback round-trip to equal the straight-through totals
+        bit-for-bit.  A tracker whose rollback leaks utility, cost or
+        coverage state fails every re-plan immediately.
+        """
+        tracker = CoverageTracker(self.instance)
+        tracker.add_all(clean_selection)
+        tracker.checkpoint()
+        tracker.add_all(dirty_selection)
+        utility, spent = tracker.utility, tracker.spent
+        covered = tracker.covered
+        tracker.rollback()
+        tracker.checkpoint()
+        tracker.add_all(dirty_selection)
+        if (
+            tracker.utility != utility
+            or tracker.spent != spent
+            or tracker.covered != covered
+        ):
+            raise DecompositionError(
+                "coverage patch is not idempotent: rollback + re-apply gave "
+                f"(utility={tracker.utility}, spent={tracker.spent}) vs "
+                f"(utility={utility}, spent={spent})"
+            )
+
+
+def resolve_delta(
+    instance: BCCInstance,
+    prev_solution: Optional[Solution],
+    delta: WorkloadDelta,
+    config: Optional[IncrementalConfig] = None,
+    seed: Optional[int] = None,
+) -> Solution:
+    """One-shot warm re-plan: apply ``delta`` to ``instance`` and re-solve.
+
+    Functional wrapper over :class:`IncrementalSolver` for callers that
+    do not keep a solver alive: ``prev_solution`` (when given) seeds the
+    per-shard profile store via :meth:`IncrementalSolver.adopt`, so under
+    a non-binding budget only the shards the delta touches run the inner
+    solver.  ``instance`` is mutated in place; the returned solution is
+    identical to a cold solve of the mutated instance.
+    """
+    solver = IncrementalSolver(instance, config=config, seed=seed)
+    if prev_solution is not None:
+        solver.adopt(prev_solution)
+    return solver.resolve_delta(delta)

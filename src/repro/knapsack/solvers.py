@@ -57,6 +57,13 @@ def solve_knapsack_dp(items: Sequence[KnapsackItem], capacity: float) -> Result:
     if not usable or cap == 0:
         chosen = list(free)
         return sum(i.value for i in chosen), chosen
+    if sum(weight for _, weight in usable) <= cap:
+        # Everything fits: the optimum takes every positive-value item, no
+        # weight-indexed table needed.  Mirrors the DP's backtrack order
+        # (free items, then usable in reverse) so the result is identical.
+        chosen = list(free)
+        chosen.extend(item for item, _ in reversed(usable))
+        return sum(i.value for i in chosen), chosen
     if len(usable) * (cap + 1) > _MAX_DP_CELLS:
         raise ValueError(
             f"DP table too large: {len(usable)} items x {cap + 1} states"

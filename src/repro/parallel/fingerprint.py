@@ -62,6 +62,73 @@ def workload_tokens(workload: ClassifierWorkload) -> List[str]:
     return tokens
 
 
+def workload_fingerprint(workload: ClassifierWorkload) -> str:
+    """Hex SHA-256 of the budget-free instance content ``⟨Q, U, C⟩``.
+
+    The content address of the incremental engine's shard-profile store:
+    two shard views with identical queries, effective utilities and
+    explicit costs hash equal no matter which global budget, shard index
+    or workload version produced them, so solved pareto profiles survive
+    re-partitioning after a delta.  Budget-sensitive callers want
+    :func:`instance_fingerprint` instead.
+    """
+    payload = "\x1f".join(workload_tokens(workload)).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()
+
+
+def shard_fingerprints(
+    workload: ClassifierWorkload,
+    shards: Iterable[Iterable[object]],
+) -> List[str]:
+    """Per-shard :func:`workload_fingerprint` without materializing shards.
+
+    Token-identical to ``workload_fingerprint(workload.restrict(shard))``
+    for each shard, but computed in one pass over the parent workload:
+    the explicit cost map is walked once, attributing each entry to every
+    shard containing one of its queries, instead of once per shard.  For
+    a partition of ``s`` shards this is ``O(|workload|)`` total where the
+    restrict-based path is ``O(s * |workload|)`` — the difference between
+    a re-plan touching two shards and one that re-reads the whole
+    workload per shard.
+    """
+    shard_lists = [list(shard) for shard in shards]
+    shard_of = {
+        query: index
+        for index, members in enumerate(shard_lists)
+        for query in members
+    }
+    query_sections: List[List[str]] = []
+    for members in shard_lists:
+        query_sections.append(
+            [
+                f"{_encode_props(query)}={_encode_float(workload.utility(query))}"
+                for query in sorted(members, key=_encode_props)
+            ]
+        )
+    cost_entries: List[List[Tuple[str, str]]] = [[] for _ in shard_lists]
+    for classifier, cost in workload._costs.items():
+        encoded = (_encode_props(classifier), _encode_float(cost))
+        seen: set = set()
+        for query in workload.queries_containing(classifier):
+            index = shard_of.get(query)
+            if index is not None and index not in seen:
+                seen.add(index)
+                cost_entries[index].append(encoded)
+    prefix = [f"v{FINGERPRINT_VERSION}", type(workload).__name__, "Q:"]
+    suffix = [
+        f"dU={_encode_float(workload.default_utility)}",
+        f"dC={_encode_float(workload.default_cost)}",
+    ]
+    digests: List[str] = []
+    for section, entries in zip(query_sections, cost_entries):
+        tokens = prefix + section + ["C:"]
+        tokens.extend(f"{name}={cost}" for name, cost in sorted(entries))
+        tokens.extend(suffix)
+        payload = "\x1f".join(tokens).encode("utf-8")
+        digests.append(hashlib.sha256(payload).hexdigest())
+    return digests
+
+
 def instance_fingerprint(workload: ClassifierWorkload) -> str:
     """Hex SHA-256 of the canonical instance encoding (includes B/T)."""
     tokens = workload_tokens(workload)

@@ -28,6 +28,7 @@ from repro.verify.certificate import (
     verify_solution,
 )
 from repro.verify.corpus import CorpusCase, corpus, corpus_cases
+from repro.verify.incremental import check_delta_stream, random_delta_stream
 from repro.verify.differential import (
     DifferentialReport,
     Finding,
@@ -55,6 +56,8 @@ __all__ = [
     "CorpusCase",
     "corpus",
     "corpus_cases",
+    "check_delta_stream",
+    "random_delta_stream",
     "SolverArm",
     "Finding",
     "DifferentialReport",

@@ -315,7 +315,7 @@ def _comparable(result: FigureResult, include_values: bool = True) -> str:
 
 
 #: Figures whose *value column* is a wall-clock measurement.
-_TIMING_FIGURES = frozenset({"fig3e", "fig4d"})
+_TIMING_FIGURES = frozenset({"fig3e", "fig4d", "figdrift"})
 
 #: Cheap-at-MICRO figures run in tier-1; the rest ride the slow CI leg.
 _FAST_FIGURES = frozenset({"fig3a", "fig3d", "fig4a", "fig4e"})
