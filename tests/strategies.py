@@ -128,6 +128,53 @@ def reencoded_bcc_pairs(draw, max_queries: int = 5, max_length: int = 3):
 
 
 @st.composite
+def wide_bcc_instances(
+    draw,
+    min_queries: int = 70,
+    max_queries: int = 110,
+    max_length: int = 3,
+    hub_properties: int = 4,
+):
+    """Wide-universe instances: hundreds of properties, short plans.
+
+    The matrix engine's target regime — and the shape the narrow
+    ``abcdefgh`` alphabet of :func:`bcc_instances` can never produce:
+    each query draws most of its (short) property set from its own block
+    of a large universe, so the compiled :class:`PropertySpace` spans
+    multiple 64-bit words while every individual mask stays sparse.  A
+    few shared *hub* properties couple queries across blocks so coverage
+    still interacts (otherwise every query is its own shard).  The
+    query floor guarantees at least 65 distinct properties — every drawn
+    instance genuinely spans multiple ``uint64`` words.
+    """
+    n_queries = draw(st.integers(min_queries, max_queries))
+    query_list = []
+    seen = set()
+    for block in range(n_queries):
+        size = draw(st.integers(1, max_length))
+        props = {f"p{block * max_length + offset:04d}" for offset in range(size)}
+        if size > 1 and draw(st.integers(0, 2)) == 0:
+            hub = draw(st.integers(0, hub_properties - 1))
+            props = set(sorted(props)[:-1]) | {f"hub{hub}"}
+        query = frozenset(props)
+        if query not in seen:
+            seen.add(query)
+            query_list.append(query)
+    utilities = {
+        q: float(draw(st.integers(1, 10))) for q in query_list
+    }
+    # Explicit costs for a sampled sliver of the relevant classifiers
+    # (the default cost backs the rest — pricing every classifier of a
+    # wide universe would dominate example generation).
+    costs = {}
+    for query in query_list:
+        if draw(st.integers(0, 2)) == 0:
+            costs[query] = float(draw(st.integers(0, 9)))
+    budget = float(draw(st.integers(1, 2 * n_queries)))
+    return BCCInstance(query_list, utilities, costs, budget=budget)
+
+
+@st.composite
 def solvable_instances(
     draw, max_queries: int = 6, max_length: int = 3, max_cost: int = 9
 ):

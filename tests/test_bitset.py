@@ -2,9 +2,10 @@
 
 Every test here drives the ``sets`` reference and the ``bits`` engine
 through :func:`repro.core.bitset.use_engine` and asserts equal results:
-coverage kernels, tracker traces (add / checkpoint / rollback / remove /
-reset / probe), and every solver arm registered in
-``repro.verify.differential.default_arms()`` on the seeded corpus.
+coverage kernels and tracker traces (add / checkpoint / rollback /
+remove / reset / probe).  The engine-parametrized identity suite — all
+solver arms on the seeded corpus, tracker differentials across every
+registered engine — lives in ``tests/test_engines.py``.
 """
 
 from __future__ import annotations
@@ -34,14 +35,6 @@ from repro.core.coverage import (
 )
 from repro.core.model import powerset_classifiers
 from repro.mc3.greedy import cheapest_residual_cover
-from repro.verify.corpus import corpus
-from repro.verify.differential import (
-    _ecc_view,
-    _gmc3_view,
-    _has_finite_full_cover,
-    _oracle_feasible,
-    default_arms,
-)
 from tests.strategies import bcc_instances, solvable_instances
 
 
@@ -343,43 +336,6 @@ class TestTrackerTraceDifferential:
         assert _snapshot(tracker, instance) == _snapshot(reference, instance)
 
 
-# ----------------------------------------------------------------------
-# solver arms on the corpus, both engines
-# ----------------------------------------------------------------------
-def _arm_cases():
-    cases = corpus(seeds=range(2))
-    for arm in default_arms():
-        for case in cases:
-            yield pytest.param(arm, case, id=f"{arm.name}-{case.name}")
-
-
-def _view_for(arm, instance):
-    if arm.kind == "gmc3":
-        if not _has_finite_full_cover(instance):
-            return None
-        view = _gmc3_view(instance)
-        return view if view.target > 0 else None
-    if arm.kind == "ecc":
-        return _ecc_view(instance)
-    if arm.oracle and not _oracle_feasible(instance):
-        return None
-    return instance
-
-
-@pytest.mark.parametrize("arm,case", _arm_cases())
-def test_every_solver_arm_is_engine_identical(arm, case):
-    """Satellite 4: all registered solver arms, sets vs bits."""
-    view = _view_for(arm, case.instance)
-    if view is None:
-        pytest.skip(f"{arm.name} not applicable to {case.name}")
-    outcomes = {}
-    for engine in ENGINES:
-        with use_engine(engine):
-            solution = arm.run(view)
-        outcomes[engine] = (
-            solution.classifiers,
-            solution.cost,
-            solution.utility,
-            solution.covered,
-        )
-    assert outcomes["sets"] == outcomes["bits"]
+# The all-arm corpus differential (sets vs bits vs matrix) lives in
+# ``tests/test_engines.py`` — promoted there when the matrix engine
+# joined, together with the engine-parametrized tracker traces.

@@ -17,7 +17,7 @@ from hypothesis import strategies as st
 from repro.algorithms.bcc import _cover_greedy_pick
 from repro.algorithms.residual import ResidualProblem
 from repro.core import BCCInstance, CoverageTracker, from_letters as fs
-from tests.strategies import solvable_instances
+from tests.strategies import solvable_instances, wide_bcc_instances
 
 
 def _snapshot(tracker):
@@ -43,6 +43,19 @@ class TestCheckpointRollback:
         before = _snapshot(tracker)
         tracker.checkpoint()
         tracker.add_all(classifiers[split:])
+        tracker.rollback()
+        assert _snapshot(tracker) == before
+
+    @given(instance=wide_bcc_instances(max_queries=80))
+    @settings(max_examples=10, deadline=None)
+    def test_round_trip_bit_identical_wide_universe(self, instance):
+        """The same round trip on the multi-word wide-property regime."""
+        classifiers = sorted(instance.relevant_classifiers(), key=sorted)
+        tracker = CoverageTracker(instance)
+        tracker.add_all(classifiers[::3])
+        before = _snapshot(tracker)
+        tracker.checkpoint()
+        tracker.add_all(classifiers[1::3])
         tracker.rollback()
         assert _snapshot(tracker) == before
 

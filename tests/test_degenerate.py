@@ -18,6 +18,7 @@ from repro.algorithms.bcc import solve_bcc
 from repro.algorithms.ecc import solve_ecc
 from repro.algorithms.gmc3 import solve_gmc3
 from repro.core import BCCInstance, ECCInstance, GMC3Instance, from_letters as fs
+from repro.core.bitset import ENGINES, use_engine
 from repro.core.errors import InfeasibleTargetError, InvalidInstanceError
 from repro.decompose import ShardedConfig, solve_bcc_sharded
 
@@ -162,6 +163,36 @@ def test_ecc_single_query():
     instance = ECCInstance([fs("ab")], {fs("ab"): 5.0}, _costs(1.0))
     solution = solve_ecc(instance)
     assert solution.utility >= 0.0
+
+
+# ----------------------------------------------------------------------
+# engine sweep: the degenerate shapes under every coverage backend
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("solver", BCC_SOLVERS)
+def test_degenerate_shapes_engine_identical(solver, engine):
+    """Every backend — the matrix engine included — must survive the
+    degenerate catalogue and return the exact solution the ``sets``
+    reference does (zero budget, all-infinite costs, single query)."""
+    catalogue = [
+        BCCInstance(_queries(), _utilities(), _costs(1.0) | {fs("c"): 0.0}, budget=0.0),
+        BCCInstance([fs("ab")], {fs("ab"): 5.0}, _costs(1.0), budget=10.0),
+        BCCInstance(
+            _queries(),
+            _utilities(),
+            {c: math.inf for c in _costs()},
+            budget=100.0,
+            default_cost=math.inf,
+        ),
+    ]
+    for instance in catalogue:
+        with use_engine("sets"):
+            reference = solver(instance)
+        with use_engine(engine):
+            solution = solver(instance)
+        assert solution.classifiers == reference.classifiers
+        assert solution.utility == reference.utility
+        assert solution.cost == reference.cost
 
 
 def test_sharded_zero_budget_many_shards_meta():

@@ -32,7 +32,9 @@ from repro.parallel.pool import SolveTask
 from repro.verify.incremental import check_delta_stream, random_delta_stream
 from tests.strategies import bcc_instances, solvable_instances
 
-ENGINES = ("sets", "bits")
+# The full registry — the mutation-safety and warm==cold differentials
+# below run under every backend, the matrix engine included.
+from repro.core.bitset import ENGINES
 
 
 def tiny_instance(budget: float = 100.0) -> BCCInstance:
