@@ -1,0 +1,165 @@
+"""Benchmark for the anytime latency-SLO meta-solver.
+
+Measures, on a fragmented workload under the real system clock:
+
+- **incumbent quality vs deadline**: the certified incumbent's utility at
+  each point of a deadline grid, as a fraction of the full-portfolio
+  best (the unbounded solve);
+- **cost-model accuracy**: mean absolute error between predicted and
+  actual arm runtimes, after a warm-up pass has populated the (in-memory)
+  arm-stats store;
+- **honest overruns**: every deadline overrun the scheduler incurred —
+  per-task timeouts are advisory (CPython cannot preempt a solver), so
+  the benchmark records them instead of pretending they cannot happen.
+
+Correctness gates: the incumbent at *every* deadline — 0ms included —
+carries a verified first-principles certificate, the incumbent trace
+passes the dominance verifier, and the unbounded incumbent matches the
+full-portfolio best exactly.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_slo.py [--quick]
+
+or through pytest (``pytest benchmarks/bench_slo.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from repro.datasets import generate_fragmented
+from repro.slo import AnytimeMetaSolver, ArmStatsStore, SloConfig
+from repro.verify import check_incumbent_trace
+
+RESULT_PATH = Path(__file__).parent / "BENCH_slo.json"
+
+DEADLINES_MS = (0.0, 1.0, 5.0, 20.0, 100.0, 500.0, None)
+WARMUP_PASSES = 2
+SEED = 3
+
+
+def _instance(quick: bool):
+    components = 5 if quick else 16
+    return generate_fragmented(
+        n_components=components,
+        queries_per_component=6 if quick else 8,
+        budget=150.0 * components,
+        seed=SEED,
+    )
+
+
+def run_bench(quick: bool = False) -> dict:
+    instance = _instance(quick)
+    stats = ArmStatsStore(path=None)
+    solver = AnytimeMetaSolver(SloConfig(stats=stats, record=True))
+
+    # Warm-up: unbounded solves teach the store what each arm costs here.
+    for _ in range(WARMUP_PASSES):
+        solver.solve(instance, deadline_ms=None)
+
+    curve = []
+    errors_ms = []
+    overruns = []
+    best_utility = None
+    for deadline_ms in DEADLINES_MS:
+        solution = solver.solve(instance, deadline_ms=deadline_ms)
+        assert "certificate" in solution.meta, "incumbent not certified"
+        check_incumbent_trace(instance, solver.last_trace)
+        slo = solution.meta["slo"]
+        if deadline_ms is None:
+            best_utility = solution.utility
+        for entry in slo["arms_tried"]:
+            errors_ms.append(abs(entry["predicted_ms"] - entry["actual_ms"]))
+        if slo["overrun_ms"] > 0.0:
+            overruns.append(
+                {"deadline_ms": deadline_ms, "overrun_ms": slo["overrun_ms"]}
+            )
+        curve.append(
+            {
+                "deadline_ms": deadline_ms,
+                "utility": solution.utility,
+                "cost": solution.cost,
+                "elapsed_ms": slo["elapsed_ms"],
+                "overrun_ms": slo["overrun_ms"],
+                "arms_tried": len(slo["arms_tried"]),
+                "arms_skipped": len(slo["arms_skipped"]),
+                "incumbent_updates": slo["incumbent_updates"],
+            }
+        )
+    assert best_utility is not None
+    for row in curve:
+        row["quality_fraction"] = (
+            row["utility"] / best_utility if best_utility > 0 else 1.0
+        )
+
+    unbounded = [row for row in curve if row["deadline_ms"] is None][0]
+    zero = [row for row in curve if row["deadline_ms"] == 0.0][0]
+    return {
+        "workload": f"fragmented @ {'quick' if quick else 'full'} (seed {SEED})",
+        "queries": len(instance.queries),
+        "warmup_passes": WARMUP_PASSES,
+        "cpu_count": os.cpu_count(),
+        "timer": "injected SystemClock (perf_counter) wall seconds",
+        "curve": curve,
+        "predicted_vs_actual_mae_ms": (
+            sum(errors_ms) / len(errors_ms) if errors_ms else None
+        ),
+        "prediction_samples": len(errors_ms),
+        "observations_recorded": stats.total_observations(),
+        "overruns": overruns,
+        "max_overrun_ms": max((o["overrun_ms"] for o in overruns), default=0.0),
+        "zero_deadline_quality": zero["quality_fraction"],
+        "unbounded_quality": unbounded["quality_fraction"],
+        "certified": True,
+    }
+
+
+def write_result(result: dict, path: Path = RESULT_PATH) -> None:
+    path.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+
+def test_slo_anytime(benchmark, scale):
+    """Pytest entry: the deadline curve (quick shape under tiny/micro)."""
+    from conftest import run_once
+
+    quick = scale.name in ("micro", "tiny")
+    result = run_once(benchmark, run_bench, quick=quick)
+    assert result["certified"]
+    assert result["unbounded_quality"] == 1.0
+    # per-arm seeds are deterministic, so the unbounded solve dominates
+    # every deadline-limited subset of the portfolio
+    assert all(row["quality_fraction"] <= 1.0 + 1e-9 for row in result["curve"])
+    write_result(result)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="small workload, CI smoke"
+    )
+    parser.add_argument("--out", type=Path, default=RESULT_PATH, help="result JSON path")
+    args = parser.parse_args(argv)
+    result = run_bench(quick=args.quick)
+    write_result(result, args.out)
+    mae = result["predicted_vs_actual_mae_ms"]
+    print(
+        f"{result['workload']}: {result['queries']} queries; "
+        f"0ms quality {result['zero_deadline_quality']:.3f}, "
+        f"unbounded 1.000; predicted-vs-actual MAE "
+        f"{mae:.2f}ms over {result['prediction_samples']} arms; "
+        f"{len(result['overruns'])} overrun(s), worst "
+        f"{result['max_overrun_ms']:.1f}ms; every incumbent certified"
+    )
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -85,3 +85,13 @@ class DifferentialError(CertificateError):
 
 class MetamorphicError(CertificateError):
     """A semantics-preserving instance transformation changed a certified answer."""
+
+
+class IncumbentCertificateError(CertificateError):
+    """An anytime incumbent trace regressed.
+
+    The SLO meta-solver's contract is that later incumbents are never
+    worse than earlier ones — utility non-decreasing, cost non-increasing
+    at equal utility, every entry independently certified.  A violation
+    means the scheduler returned a worse answer after doing more work.
+    """

@@ -595,6 +595,22 @@ def figdrift(
     return result
 
 
+def figslo(
+    scale: Scale = SMALL, seed: int = 0, parallel: Optional[ParallelConfig] = None
+) -> FigureResult:
+    """SLO figure: certified incumbent utility vs deadline (virtual clock).
+
+    Not a paper figure — delegates to :func:`repro.slo.figure.figslo`
+    (imported lazily to keep ``repro.experiments`` import-light).  The
+    run simulates time on a virtual clock, so rows are a pure function
+    of scale and seed and the serial-vs-parallel harness can compare
+    them bit for bit.
+    """
+    from repro.slo.figure import figslo as _figslo
+
+    return _figslo(scale, seed, parallel)
+
+
 ALL_FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig3a": fig3a,
     "fig3b": fig3b,
@@ -610,4 +626,5 @@ ALL_FIGURES: Dict[str, Callable[..., FigureResult]] = {
     "fig4f": fig4f,
     "figfrag": figfrag,
     "figdrift": figdrift,
+    "figslo": figslo,
 }

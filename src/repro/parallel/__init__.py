@@ -26,6 +26,7 @@ from repro.parallel.cache import (
     solution_from_payload,
     solution_to_payload,
 )
+from repro.parallel.clock import SYSTEM_CLOCK, Clock, SystemClock, VirtualClock
 from repro.parallel.corpus import CORPUS_SOLVERS, corpus_figure, corpus_tasks
 from repro.parallel.fingerprint import instance_fingerprint, task_fingerprint
 from repro.parallel.pool import (
@@ -43,6 +44,10 @@ from repro.parallel.registry import get_solver, register_solver, solver_names
 from repro.parallel.seeding import derive_rng, seed_for, spawn_keys
 
 __all__ = [
+    "Clock",
+    "SystemClock",
+    "VirtualClock",
+    "SYSTEM_CLOCK",
     "CacheStats",
     "ResultCache",
     "default_cache",

@@ -16,6 +16,14 @@ With a :class:`~repro.parallel.cache.ResultCache` attached, each task's
 fingerprint (instance ⊕ solver ⊕ seed) is consulted first and only the
 misses are executed; stored entries include the original wall seconds, so
 warm sweeps reproduce cold rows exactly.
+
+All timing goes through the config's :class:`~repro.parallel.clock.Clock`
+(default: the system clock).  A :class:`~repro.parallel.clock.VirtualClock`
+forces the batch serial and charges simulated task durations instead of
+wall time — that is what makes the SLO meta-solver's scheduling decisions
+testable bit for bit.  Worker processes of a fanned-out batch always
+measure with the system clock (a virtual clock cannot cross a process
+boundary, and never needs to: virtual implies serial).
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 from repro.core.model import ClassifierWorkload
 from repro.core.solution import Solution
 from repro.parallel.cache import ResultCache
+from repro.parallel.clock import SYSTEM_CLOCK, Clock
 from repro.parallel.fingerprint import task_fingerprint
 
 T = TypeVar("T")
@@ -84,6 +93,10 @@ class SolveTask:
         instance: the workload to solve (picklable by construction).
         seed: derived seed for randomized solvers; None for deterministic.
         certify: verify the result and attach its witness certificate.
+        timeout_s: advisory per-task deadline in seconds.  CPython cannot
+            safely preempt a running solve, so the task is never killed;
+            an overrun is *recorded* on the result (``timed_out=True``)
+            for the scheduler to react to.  None disables the check.
     """
 
     key: str
@@ -91,16 +104,26 @@ class SolveTask:
     instance: ClassifierWorkload
     seed: Optional[int] = None
     certify: bool = False
+    timeout_s: Optional[float] = None
 
 
 @dataclass(frozen=True)
 class TaskResult:
-    """One executed (or cache-served) task."""
+    """One executed (or cache-served) task.
+
+    ``seconds`` is the task's elapsed time as measured by the batch's
+    clock (wall seconds on the system clock, simulated seconds on a
+    virtual one; cache hits replay the original solve's seconds) — the
+    single source callers consume instead of re-timing around the batch.
+    ``timed_out`` records whether ``seconds`` exceeded the task's
+    advisory ``timeout_s``.
+    """
 
     key: str
     solution: Solution
     seconds: float
     cached: bool = False
+    timed_out: bool = False
 
 
 @dataclass(frozen=True)
@@ -109,12 +132,15 @@ class ParallelConfig:
 
     ``jobs=None`` defers to ``REPRO_JOBS`` (default 1); ``cache=None``
     disables caching; ``certify=True`` forces certification onto every
-    task in the batch.
+    task in the batch; ``clock=None`` times tasks on the system clock.
+    A virtual clock forces the batch serial (simulated time has no
+    out-of-order completion), whatever ``jobs`` says.
     """
 
     jobs: Optional[int] = None
     cache: Optional[ResultCache] = None
     certify: bool = False
+    clock: Optional[Clock] = None
 
 
 #: The do-nothing default: serial, uncached, uncertified.
@@ -122,13 +148,31 @@ SERIAL = ParallelConfig(jobs=1)
 
 
 def _execute_task(task: SolveTask) -> Tuple[Solution, float]:
-    """Worker entry: solve one task and time it (runs in the pool)."""
+    """Worker entry: solve one task and time it (runs in the pool).
+
+    Workers always measure on the system clock — this entry only runs on
+    the fanned-out path, which a virtual clock never takes.
+    """
     from repro.parallel.registry import get_solver
 
     solver = get_solver(task.solver)
     start = time.perf_counter()
     solution = solver(task.instance, task.seed, task.certify)
     return solution, time.perf_counter() - start
+
+
+def _execute_task_clocked(task: SolveTask, clock: Clock) -> Tuple[Solution, float]:
+    """Serial-path execution: timing delegated to the injected clock."""
+    from repro.parallel.registry import get_solver
+
+    solver = get_solver(task.solver)
+    return clock.run_task(
+        task, lambda: solver(task.instance, task.seed, task.certify)
+    )
+
+
+def _is_timed_out(task: SolveTask, seconds: float) -> bool:
+    return task.timeout_s is not None and seconds > task.timeout_s
 
 
 def _recertify(task: SolveTask, solution: Solution) -> Solution:
@@ -156,6 +200,7 @@ def run_tasks(
     every float in it — is independent of ``jobs``.
     """
     config = parallel or SERIAL
+    clock = config.clock or SYSTEM_CLOCK
     tasks = list(tasks)
     seen = set()
     for task in tasks:
@@ -165,7 +210,9 @@ def run_tasks(
     if config.certify:
         tasks = [
             task if task.certify
-            else SolveTask(task.key, task.solver, task.instance, task.seed, True)
+            else SolveTask(
+                task.key, task.solver, task.instance, task.seed, True, task.timeout_s
+            )
             for task in tasks
         ]
 
@@ -185,12 +232,24 @@ def run_tasks(
         solution, seconds = hit
         if task.certify:
             solution = _recertify(task, solution)
-        results[index] = TaskResult(task.key, solution, seconds, cached=True)
+        results[index] = TaskResult(
+            task.key, solution, seconds, cached=True,
+            timed_out=_is_timed_out(task, seconds),
+        )
 
-    executed = pmap(_execute_task, [tasks[i] for i in misses], jobs=config.jobs)
+    miss_tasks = [tasks[i] for i in misses]
+    if clock.virtual or resolve_jobs(config.jobs) <= 1:
+        # Serial path: timing goes through the injected clock (a virtual
+        # clock charges simulated durations and must never fan out).
+        executed = [_execute_task_clocked(task, clock) for task in miss_tasks]
+    else:
+        executed = pmap(_execute_task, miss_tasks, jobs=config.jobs)
     for index, (solution, seconds) in zip(misses, executed):
         task = tasks[index]
-        results[index] = TaskResult(task.key, solution, seconds, cached=False)
+        results[index] = TaskResult(
+            task.key, solution, seconds, cached=False,
+            timed_out=_is_timed_out(task, seconds),
+        )
         if config.cache is not None:
             config.cache.put(fingerprints[index], solution, seconds)
 
@@ -242,3 +301,12 @@ class BatchResults:
 
     def seconds(self, key: str) -> float:
         return self._by_key[key].seconds
+
+    def total_seconds(self) -> float:
+        """Sum of per-task elapsed seconds (clock-measured, cache-replayed).
+
+        The batch's own accounting — callers should consume this instead
+        of re-timing around :meth:`TaskBatch.run`, which would conflate
+        solver time with cache and scheduling overhead.
+        """
+        return sum(result.seconds for result in self._by_key.values())

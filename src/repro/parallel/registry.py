@@ -23,15 +23,31 @@ from repro.core.solution import Solution
 SolverFn = Callable[[ClassifierWorkload, Optional[int], bool], Solution]
 
 _SOLVERS: Dict[str, SolverFn] = {}
+_TIERS: Dict[str, str] = {}
+
+#: Coarse cost tiers, cheapest first.  A tier is a *prior*, not a
+#: measurement: the SLO stats store falls back to the tier's prior
+#: runtime (seconds) for arms it has never observed, and the meta-solver
+#: breaks prediction ties by tier rank.  Observed runtimes always win.
+COST_TIERS = ("cheap", "medium", "expensive")
+TIER_RANK = {tier: rank for rank, tier in enumerate(COST_TIERS)}
+TIER_PRIOR_SECONDS = {"cheap": 0.005, "medium": 0.05, "expensive": 0.5}
 
 
-def register_solver(name: str) -> Callable[[SolverFn], SolverFn]:
-    """Register ``fn`` under ``name`` (also its cache-key identity)."""
+def register_solver(name: str, tier: str = "medium") -> Callable[[SolverFn], SolverFn]:
+    """Register ``fn`` under ``name`` (also its cache-key identity).
+
+    ``tier`` tags the arm's coarse expected cost (see :data:`COST_TIERS`)
+    for budget-aware schedulers; it never affects what the solver does.
+    """
+    if tier not in TIER_RANK:
+        raise ValueError(f"tier must be one of {COST_TIERS}, got {tier!r}")
 
     def decorator(fn: SolverFn) -> SolverFn:
         if name in _SOLVERS:
             raise ValueError(f"solver {name!r} already registered")
         _SOLVERS[name] = fn
+        _TIERS[name] = tier
         return fn
 
     return decorator
@@ -43,6 +59,13 @@ def get_solver(name: str) -> SolverFn:
     return _SOLVERS[name]
 
 
+def solver_tier(name: str) -> str:
+    """The registered cost tier of ``name`` (raises on unknown solvers)."""
+    if name not in _TIERS:
+        raise KeyError(f"unknown solver {name!r}; known: {sorted(_SOLVERS)}")
+    return _TIERS[name]
+
+
 def solver_names() -> list:
     return sorted(_SOLVERS)
 
@@ -51,14 +74,14 @@ def solver_names() -> list:
 # default entries: the paper's algorithms and baselines
 # ----------------------------------------------------------------------
 
-@register_solver("abcc")
+@register_solver("abcc", tier="medium")
 def _abcc(instance, seed=None, certify=False):
     from repro.algorithms import solve_bcc
 
     return solve_bcc(instance, certify=certify)
 
 
-@register_solver("abcc-pruned")
+@register_solver("abcc-pruned", tier="medium")
 def _abcc_pruned(instance, seed=None, certify=False):
     from repro.algorithms import AbccConfig, solve_bcc
     from repro.algorithms.pruning import PruningConfig
@@ -66,42 +89,42 @@ def _abcc_pruned(instance, seed=None, certify=False):
     return solve_bcc(instance, AbccConfig(pruning=PruningConfig.paper()), certify=certify)
 
 
-@register_solver("abcc-unpruned")
+@register_solver("abcc-unpruned", tier="expensive")
 def _abcc_unpruned(instance, seed=None, certify=False):
     from repro.algorithms import AbccConfig, solve_bcc
 
     return solve_bcc(instance, AbccConfig(pruning=None), certify=certify)
 
 
-@register_solver("bcc-exact")
+@register_solver("bcc-exact", tier="expensive")
 def _bcc_exact(instance, seed=None, certify=False):
     from repro.algorithms import solve_bcc_exact
 
     return solve_bcc_exact(instance, certify=certify)
 
 
-@register_solver("rand-bcc")
+@register_solver("rand-bcc", tier="cheap")
 def _rand_bcc(instance, seed=None, certify=False):
     from repro.baselines import rand_bcc
 
     return rand_bcc(instance, seed=0 if seed is None else seed, certify=certify)
 
 
-@register_solver("ig1-bcc")
+@register_solver("ig1-bcc", tier="cheap")
 def _ig1_bcc(instance, seed=None, certify=False):
     from repro.baselines import ig1_bcc
 
     return ig1_bcc(instance, certify=certify)
 
 
-@register_solver("ig2-bcc")
+@register_solver("ig2-bcc", tier="medium")
 def _ig2_bcc(instance, seed=None, certify=False):
     from repro.baselines import ig2_bcc
 
     return ig2_bcc(instance, certify=certify)
 
 
-@register_solver("abcc-sharded")
+@register_solver("abcc-sharded", tier="medium")
 def _abcc_sharded(instance, seed=None, certify=False):
     # jobs=1: registry solvers already run inside pool workers, so the
     # shard fan-out must not open a nested process pool.
@@ -112,56 +135,56 @@ def _abcc_sharded(instance, seed=None, certify=False):
     )
 
 
-@register_solver("agmc3")
+@register_solver("agmc3", tier="medium")
 def _agmc3(instance, seed=None, certify=False):
     from repro.algorithms import solve_gmc3
 
     return solve_gmc3(instance, certify=certify)
 
 
-@register_solver("rand-gmc3")
+@register_solver("rand-gmc3", tier="cheap")
 def _rand_gmc3(instance, seed=None, certify=False):
     from repro.baselines import rand_gmc3
 
     return rand_gmc3(instance, seed=0 if seed is None else seed, certify=certify)
 
 
-@register_solver("ig1-gmc3")
+@register_solver("ig1-gmc3", tier="cheap")
 def _ig1_gmc3(instance, seed=None, certify=False):
     from repro.baselines import ig1_gmc3
 
     return ig1_gmc3(instance, certify=certify)
 
 
-@register_solver("ig2-gmc3")
+@register_solver("ig2-gmc3", tier="medium")
 def _ig2_gmc3(instance, seed=None, certify=False):
     from repro.baselines import ig2_gmc3
 
     return ig2_gmc3(instance, certify=certify)
 
 
-@register_solver("aecc")
+@register_solver("aecc", tier="medium")
 def _aecc(instance, seed=None, certify=False):
     from repro.algorithms import solve_ecc
 
     return solve_ecc(instance, certify=certify)
 
 
-@register_solver("rand-ecc")
+@register_solver("rand-ecc", tier="cheap")
 def _rand_ecc(instance, seed=None, certify=False):
     from repro.baselines import rand_ecc
 
     return rand_ecc(instance, seed=0 if seed is None else seed, certify=certify)
 
 
-@register_solver("ig1-ecc")
+@register_solver("ig1-ecc", tier="cheap")
 def _ig1_ecc(instance, seed=None, certify=False):
     from repro.baselines import ig1_ecc
 
     return ig1_ecc(instance, certify=certify)
 
 
-@register_solver("ig2-ecc")
+@register_solver("ig2-ecc", tier="medium")
 def _ig2_ecc(instance, seed=None, certify=False):
     from repro.baselines import ig2_ecc
 

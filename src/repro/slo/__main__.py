@@ -1,0 +1,7 @@
+"""Module entry point for ``python -m repro.slo``."""
+
+import sys
+
+from repro.slo.cli import main
+
+sys.exit(main())

@@ -1,0 +1,152 @@
+"""A cheap, deterministic runtime model: ridge regression on log-runtime.
+
+The model behind :meth:`~repro.slo.stats.ArmStatsStore.predict_runtime`.
+Design constraints, in order:
+
+1. **Deterministic.**  Same observations in, same coefficients out — the
+   fit is a closed-form ridge solve (normal equations + Gaussian
+   elimination with partial pivoting) in pure Python, no RNG, no
+   iteration-order dependence, no numpy requirement (serial-fallback
+   safe: the model works in a container with nothing but the stdlib).
+2. **Never negative.**  The target is ``log`` runtime, the prediction is
+   ``exp`` of the fit — positive by construction.
+3. **Monotone in size features.**  After the ridge solve, negative
+   weights are clamped to zero and the intercept is re-centred on the
+   residual mean.  Features are ``log1p`` of counts
+   (:mod:`repro.slo.features`), so predictions never decrease when an
+   instance grows.  Clamping costs a little fit quality on weird data
+   and buys a hard invariant the scheduler can rely on.
+
+Degradation ladder (cheapest data requirement last):
+
+- ``>= MIN_FIT_OBSERVATIONS`` points: the ridge fit;
+- ``>= 1`` point: the geometric mean of observed runtimes;
+- no data: the caller's fallback (the registry tier prior).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.slo.features import FEATURE_NAMES, FeatureVector
+
+#: Below this many observations a per-arm geometric mean beats a fit.
+MIN_FIT_OBSERVATIONS = 8
+
+#: Ridge penalty — small, just enough to keep the normal equations
+#: well-conditioned on nearly-collinear size features.
+RIDGE_LAMBDA = 1e-3
+
+#: Floor for observed runtimes before taking logs (cache hits and
+#: virtual-clock runs can legitimately record ~0 seconds).
+MIN_SECONDS = 1e-7
+
+
+def _solve_linear(matrix: List[List[float]], rhs: List[float]) -> List[float]:
+    """Gaussian elimination with partial pivoting (deterministic, tiny d)."""
+    n = len(rhs)
+    a = [row[:] + [rhs[i]] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(a[r][col]))
+        if abs(a[pivot][col]) < 1e-30:
+            raise ArithmeticError("singular normal-equations matrix")
+        a[col], a[pivot] = a[pivot], a[col]
+        inv = 1.0 / a[col][col]
+        for r in range(col + 1, n):
+            factor = a[r][col] * inv
+            if factor == 0.0:
+                continue
+            for c in range(col, n + 1):
+                a[r][c] -= factor * a[col][c]
+    x = [0.0] * n
+    for row in range(n - 1, -1, -1):
+        acc = a[row][n] - sum(a[row][c] * x[c] for c in range(row + 1, n))
+        x[row] = acc / a[row][row]
+    return x
+
+
+def _log_seconds(seconds: float) -> float:
+    return math.log(max(float(seconds), MIN_SECONDS))
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """A fitted predictor: ``exp(intercept + weights · features)``.
+
+    ``weights`` are all ``>= 0`` (monotonicity clamp); ``observations``
+    records how many points the fit consumed, which the store uses to
+    decide when a refit is due.
+    """
+
+    intercept: float
+    weights: Tuple[float, ...]
+    observations: int
+
+    def predict_seconds(self, features: FeatureVector) -> float:
+        if len(features) != len(self.weights):
+            raise ValueError(
+                f"expected {len(self.weights)} features, got {len(features)}"
+            )
+        exponent = self.intercept + sum(
+            w * f for w, f in zip(self.weights, features)
+        )
+        # Cap the exponent: a degenerate fit must yield a huge-but-finite
+        # prediction (the scheduler treats it as "never fits"), not inf.
+        return math.exp(min(exponent, 60.0))
+
+
+def fit_cost_model(
+    samples: Sequence[Tuple[FeatureVector, float]],
+) -> Optional[CostModel]:
+    """Fit the runtime model on ``(features, seconds)`` observations.
+
+    Returns None on an empty sample (caller falls back to its prior).
+    Below :data:`MIN_FIT_OBSERVATIONS` points the model is the geometric
+    mean of the observed runtimes (all weights zero — trivially monotone).
+    """
+    if not samples:
+        return None
+    logs = [_log_seconds(seconds) for _, seconds in samples]
+    n = len(samples)
+    d = len(FEATURE_NAMES)
+    if n < MIN_FIT_OBSERVATIONS:
+        return CostModel(
+            intercept=sum(logs) / n, weights=(0.0,) * d, observations=n
+        )
+
+    # Ridge normal equations over [1, features]; the intercept column is
+    # not penalized.
+    dim = d + 1
+    xtx = [[0.0] * dim for _ in range(dim)]
+    xty = [0.0] * dim
+    for (features, _), y in zip(samples, logs):
+        row = (1.0,) + tuple(float(f) for f in features)
+        if len(row) != dim:
+            raise ValueError(
+                f"expected {d} features, got {len(row) - 1}"
+            )
+        for i in range(dim):
+            xty[i] += row[i] * y
+            for j in range(dim):
+                xtx[i][j] += row[i] * row[j]
+    for i in range(1, dim):
+        xtx[i][i] += RIDGE_LAMBDA * n
+    try:
+        coeffs = _solve_linear(xtx, xty)
+    except ArithmeticError:
+        return CostModel(
+            intercept=sum(logs) / n, weights=(0.0,) * d, observations=n
+        )
+
+    # Monotonicity clamp: zero out negative weights, then re-centre the
+    # intercept so the clamped model stays unbiased on the sample.
+    weights = tuple(max(0.0, w) for w in coeffs[1:])
+    mean_feature = [
+        sum(sample[0][i] for sample in samples) / n for i in range(d)
+    ]
+    intercept = sum(logs) / n - sum(
+        w * f for w, f in zip(weights, mean_feature)
+    )
+    return CostModel(intercept=intercept, weights=weights, observations=n)

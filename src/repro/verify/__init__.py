@@ -20,6 +20,7 @@ Entry points:
 - ``python -m repro.verify`` — the corpus sweep as a command.
 """
 
+from repro.verify.anytime import check_incumbent_trace
 from repro.verify.certificate import (
     SolutionCertificate,
     attach_certificate,
@@ -48,6 +49,7 @@ from repro.verify.metamorphic import (
 )
 
 __all__ = [
+    "check_incumbent_trace",
     "SolutionCertificate",
     "build_certificate",
     "verify_solution",

@@ -1,0 +1,71 @@
+"""Incumbent-dominance verification for the anytime meta-solver.
+
+An anytime solver's defining promise is monotone progress: every
+incumbent it holds is at least as good as every earlier one, and each is
+independently certified — so interrupting it at *any* point yields a
+verified answer no worse than interrupting it earlier.
+:func:`check_incumbent_trace` re-checks that promise from first
+principles, in the same no-trust spirit as the rest of this package:
+every trace entry is re-verified against the instance
+(:func:`~repro.verify.certificate.verify_solution`), then the sequence
+is checked for dominance.  Any violation raises the typed
+:class:`~repro.core.errors.IncumbentCertificateError`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.errors import IncumbentCertificateError
+from repro.core.model import BCCInstance
+from repro.core.solution import Solution
+from repro.verify.certificate import verify_solution
+
+#: Float slack for utility/cost comparisons between incumbents.
+_TOL = 1e-9
+
+
+def check_incumbent_trace(
+    instance: BCCInstance, trace: Sequence[Solution]
+) -> None:
+    """Verify an incumbent trace: certified entries, monotone progress.
+
+    Checks, in order:
+
+    - the trace is non-empty (an anytime solver always holds *some*
+      incumbent, the certified empty solution at worst);
+    - every entry passes first-principles verification against
+      ``instance`` (coverage, cost, utility, budget feasibility);
+    - utilities never decrease along the trace;
+    - at (tolerance-)equal utility, cost never increases — a later
+      incumbent may not pay more for the same coverage.
+
+    Raises:
+        IncumbentCertificateError: any of the above fails.
+    """
+    if not trace:
+        raise IncumbentCertificateError(
+            "empty incumbent trace — an anytime solver must always hold one"
+        )
+    for position, solution in enumerate(trace):
+        try:
+            verify_solution(instance, solution, budget=instance.budget)
+        except Exception as error:
+            raise IncumbentCertificateError(
+                f"incumbent {position} failed verification: {error}"
+            ) from error
+    for position in range(1, len(trace)):
+        earlier, later = trace[position - 1], trace[position]
+        if later.utility < earlier.utility - _TOL:
+            raise IncumbentCertificateError(
+                f"incumbent {position} regressed: utility {later.utility} "
+                f"< earlier {earlier.utility}"
+            )
+        if (
+            abs(later.utility - earlier.utility) <= _TOL
+            and later.cost > earlier.cost + _TOL
+        ):
+            raise IncumbentCertificateError(
+                f"incumbent {position} regressed: equal utility but cost "
+                f"{later.cost} > earlier {earlier.cost}"
+            )

@@ -195,6 +195,80 @@ def test_degenerate_shapes_engine_identical(solver, engine):
         assert solution.cost == reference.cost
 
 
+# ----------------------------------------------------------------------
+# the anytime SLO meta-solver against the degenerate catalogue
+# ----------------------------------------------------------------------
+def _slo_solver():
+    from repro.parallel.clock import VirtualClock
+    from repro.slo import AnytimeMetaSolver, ArmStatsStore, SloConfig
+
+    stats = ArmStatsStore(path=None)
+    clock = VirtualClock(
+        task_seconds=lambda task, s=stats: s.predict_runtime(
+            task.solver, (0.0,) * 7, "virtual"
+        )
+    )
+    return AnytimeMetaSolver(SloConfig(stats=stats, clock=clock, record=False))
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("deadline_ms", [0.0, 50.0, None])
+def test_slo_single_uncoverable_query_returns_certified_empty(engine, deadline_ms):
+    # The only query is walled off by infinite costs: at every deadline —
+    # 0ms included — the incumbent is the certified empty solution.
+    instance = BCCInstance(
+        [fs("ab")],
+        {fs("ab"): 5.0},
+        {c: math.inf for c in _costs()},
+        budget=100.0,
+        default_cost=math.inf,
+    )
+    with use_engine(engine):
+        solver = _slo_solver()
+        solution = solver.solve(instance, deadline_ms=deadline_ms)
+    assert solution.classifiers == frozenset()
+    assert solution.utility == 0.0
+    assert "certificate" in solution.meta
+    assert len(solution.meta["slo"]["schedule"]) >= 1
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_slo_all_infinite_costs_yield_certified_empty_incumbent(engine):
+    from repro.verify import check_incumbent_trace
+
+    instance = BCCInstance(
+        _queries(),
+        _utilities(),
+        {c: math.inf for c in _costs()},
+        budget=100.0,
+        default_cost=math.inf,
+    )
+    with use_engine(engine):
+        solver = _slo_solver()
+        solution = solver.solve(instance, deadline_ms=None)
+        check_incumbent_trace(instance, solver.last_trace)
+    assert solution.classifiers == frozenset()
+    assert solution.cost == 0.0
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_slo_zero_budget_takes_free_coverage_only(engine):
+    costs = _costs(1.0) | {fs("c"): 0.0}
+    instance = BCCInstance(_queries(), _utilities(), costs, budget=0.0)
+    with use_engine(engine):
+        solution = _slo_solver().solve(instance, deadline_ms=None)
+    assert solution.cost == 0.0
+    assert solution.utility == pytest.approx(2.0)
+    assert "certificate" in solution.meta
+
+
+def test_slo_empty_workload_is_rejected_at_construction():
+    # The catalogue's empty-workload row: there is no instance to solve,
+    # so the meta-solver can never even be reached.
+    with pytest.raises(InvalidInstanceError):
+        BCCInstance([], {}, {}, budget=1.0)
+
+
 def test_sharded_zero_budget_many_shards_meta():
     queries = [fs(letter) for letter in "abc"]
     instance = BCCInstance(
