@@ -29,6 +29,13 @@ from repro.core.model import BCCInstance, Classifier, Query
 from repro.core.solution import Solution, evaluate
 from repro.knapsack.solvers import solve_knapsack
 from repro.mc3 import InfeasibleCoverError, solve_mc3
+from repro.profile import (
+    PhaseProfiler,
+    activate,
+    current_profiler,
+    phase,
+    profiling_enabled,
+)
 from repro.qk import QKConfig, solve_qk
 
 
@@ -386,22 +393,45 @@ def solve_bcc(
     budget feasibility checked) and the witness certificate is recorded in
     ``solution.meta["certificate"]``; any disagreement raises a typed
     :class:`~repro.core.errors.CertificateError`.
+
+    When a :mod:`repro.profile` profiler is active — or ``REPRO_PROFILE=1``
+    asks for a solve-scoped one — per-phase seconds and probe/rebuild
+    counts are attached as ``solution.meta["profile"]``.  Without one, no
+    phase timers run and the meta key is absent, so cached solutions stay
+    byte-identical to unprofiled runs.
     """
+    prof = current_profiler()
+    if prof is None and profiling_enabled():
+        with activate(PhaseProfiler()) as prof:
+            solution = _solve_bcc_impl(instance, config, certify)
+    else:
+        solution = _solve_bcc_impl(instance, config, certify)
+    if prof is not None:
+        solution.meta["profile"] = prof.snapshot()
+    return solution
+
+
+def _solve_bcc_impl(
+    instance: BCCInstance,
+    config: Optional[AbccConfig],
+    certify: bool,
+) -> Solution:
     config = config or AbccConfig()
     started = time.perf_counter()
 
     # ------------------------------------------------------------------
     # line 1: preprocessing
     # ------------------------------------------------------------------
-    if config.pruning is not None:
-        allowed = prune_classifiers(instance, instance.budget, config.pruning)
-    else:
-        allowed = frozenset(
-            c
-            for c in instance.relevant_classifiers()
-            if not math.isinf(instance.cost(c))
-            and instance.cost(c) <= instance.budget + 1e-9
-        )
+    with phase("prune"):
+        if config.pruning is not None:
+            allowed = prune_classifiers(instance, instance.budget, config.pruning)
+        else:
+            allowed = frozenset(
+                c
+                for c in instance.relevant_classifiers()
+                if not math.isinf(instance.cost(c))
+                and instance.cost(c) <= instance.budget + 1e-9
+            )
     residual = ResidualProblem(instance, allowed=allowed)
 
     # Zero-cost classifiers are free utility: select them all up front.
@@ -431,23 +461,28 @@ def solve_bcc(
             # --------------------------------------------------------------
             # line 2: BCC(1) via Knapsack and BCC(2) via A_H^QK, best of two
             # --------------------------------------------------------------
-            items = residual.knapsack_items(round_budget)
-            _, chosen_items = solve_knapsack(items, round_budget)
-            knapsack_pick = frozenset(item.key for item in chosen_items)
+            with phase("knapsack"):
+                items = residual.knapsack_items(round_budget)
+                _, chosen_items = solve_knapsack(items, round_budget)
+                knapsack_pick = frozenset(item.key for item in chosen_items)
 
-            qk_graph = residual.qk_graph(round_budget, config.max_qk_query_length)
-            if config.pruning is not None:
-                qk_graph = prune_qk_graph(qk_graph, config.pruning)
-            if config.qk_singleton_bonus:
-                qk_graph = _augment_with_singleton_bonus(residual, qk_graph, round_budget)
-            qk_nodes.append(len(qk_graph))
-            qk_edges.append(qk_graph.num_edges())
+            with phase("qk_build"):
+                qk_graph = residual.qk_graph(round_budget, config.max_qk_query_length)
+                if config.pruning is not None:
+                    qk_graph = prune_qk_graph(qk_graph, config.pruning)
+                if config.qk_singleton_bonus:
+                    qk_graph = _augment_with_singleton_bonus(
+                        residual, qk_graph, round_budget
+                    )
+                qk_nodes.append(len(qk_graph))
+                qk_edges.append(qk_graph.num_edges())
             qk_pick: FrozenSet[Classifier] = frozenset()
             if qk_graph.num_edges() > 0:
-                qk_pick = frozenset(
-                    c for c in solve_qk(qk_graph, round_budget, config.qk)
-                    if c != _SINGLETON_BONUS
-                )
+                with phase("qk_solve"):
+                    qk_pick = frozenset(
+                        c for c in solve_qk(qk_graph, round_budget, config.qk)
+                        if c != _SINGLETON_BONUS
+                    )
 
             picks = [knapsack_pick, qk_pick]
             if config.cover_greedy_arm:
@@ -459,7 +494,8 @@ def solve_bcc(
                     if len(residual.missing(q)) >= 3
                 )
                 if total_uncovered > 0 and deep / total_uncovered >= config.cover_arm_threshold:
-                    picks.append(_cover_greedy_pick(residual, round_budget))
+                    with phase("cover_greedy"):
+                        picks.append(_cover_greedy_pick(residual, round_budget))
 
             # True-coverage comparison; infeasible picks are discarded.
             # The candidate slates are probed as one batch — a single
@@ -468,7 +504,9 @@ def solve_bcc(
             best_pick: FrozenSet[Classifier] = frozenset()
             best_gain = 0.0
             best_cost = 0.0
-            for pick, (gain, cost) in zip(picks, residual.evaluate_gain_batch(picks)):
+            with phase("pick_eval"):
+                pick_scores = residual.evaluate_gain_batch(picks)
+            for pick, (gain, cost) in zip(picks, pick_scores):
                 if cost <= remaining + 1e-9 and (
                     gain > best_gain + 1e-9
                     or (gain > 0 and abs(gain - best_gain) <= 1e-9 and cost < best_cost)
@@ -488,15 +526,27 @@ def solve_bcc(
             # line 3: MC3 local-search improvement
             # --------------------------------------------------------------
             if config.use_mc3:
-                _mc3_improve(residual, instance)
+                with phase("mc3"):
+                    _mc3_improve(residual, instance)
         finally:
             round_times.append(time.perf_counter() - round_started)
 
     final_selection: Set[Classifier] = set(residual.selected)
     if config.final_polish:
-        final_selection = _swap_polish(
-            instance, final_selection, allowed, config.polish_eval_cap
-        )
+        with phase("swap_polish"):
+            final_selection = _swap_polish(
+                instance, final_selection, allowed, config.polish_eval_cap
+            )
+
+    prof = current_profiler()
+    if prof is not None:
+        # Probe/rebuild telemetry folded from the tracker's own counters —
+        # the probe paths never call into the profiler, so disabled runs
+        # pay nothing there.
+        prof.add_count("tracker_probes", residual.tracker.rollbacks)
+        prof.add_count("transpose_rebuilds", residual.tracker.transpose_rebuilds)
+        prof.add_count("rebuilds_avoided", residual.stats["rebuilds_avoided"])
+        prof.add_count("tracker_resets", residual.stats["resets"])
 
     solution = evaluate(
         instance,
@@ -511,6 +561,7 @@ def solve_bcc(
                 "rebuilds_avoided": residual.stats["rebuilds_avoided"],
                 "resets": residual.stats["resets"],
                 "rollbacks": residual.tracker.rollbacks,
+                "transpose_rebuilds": residual.tracker.transpose_rebuilds,
                 "qk_nodes": qk_nodes,
                 "qk_edges": qk_edges,
                 "round_times_sec": round_times,

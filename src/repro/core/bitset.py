@@ -67,6 +67,9 @@ MASK_ENGINES: Tuple[str, ...] = ("bits", "matrix")
 _DEFAULT_ENGINE = "bits"
 _OVERRIDE: Optional[str] = None
 
+#: Entry cap for :meth:`CompiledWorkload.row_bitmap`'s memo.
+_ROW_BITMAP_CAP = 8192
+
 
 def active_engine() -> str:
     """The coverage-algebra backend in effect: ``sets``/``bits``/``matrix``.
@@ -246,6 +249,11 @@ class CompiledWorkload:
         self._containing: Dict[int, Tuple[int, ...]] = {}
         # classifier-mask → the same superset rows as one bitmap over
         # query positions (bit ``i`` set ⇔ query ``i`` contains it).
+        # Bounded: every value is a |Q|-bit int, so on a long-lived
+        # interned workload probed with many distinct slate masks this
+        # memo would otherwise hold O(entries · |Q|) bytes forever; at
+        # the cap it clears wholesale (same discipline as the model's
+        # containing memo) and the next probe re-derives.
         self._row_bitmaps: Dict[int, int] = {}
         # property-bit → bitmap of the query positions containing it.
         self.prop_bitmaps: List[int] = [
@@ -332,6 +340,8 @@ class CompiledWorkload:
         for qidx in self.containing(cmask):
             bitmap |= 1 << qidx
         if bitmap:
+            if len(self._row_bitmaps) >= _ROW_BITMAP_CAP:
+                self._row_bitmaps.clear()
             self._row_bitmaps[cmask] = bitmap
         return bitmap
 

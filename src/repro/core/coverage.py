@@ -317,6 +317,11 @@ class CoverageTracker:
         self._checkpoints: List[Tuple[int, float, float]] = []
         #: Number of rollbacks performed (engine telemetry).
         self.rollbacks: int = 0
+        #: Full transpose rebuild walks performed (engine telemetry; the
+        #: bits backend increments this in :meth:`_transpose`, so solver
+        #: loops can assert the incremental maintenance keeps it at the
+        #: one cold build instead of one per mutation).
+        self.transpose_rebuilds: int = 0
         # Query → workload position, built on the first gain probe: both
         # backends sum probe gains in ascending workload order so the
         # returned float is engine-identical.
@@ -631,10 +636,18 @@ class BitsetCoverageTracker(CoverageTracker):
         self._covered_queries: Set[Query] = set()
         # Transposed residual state for the probe kernel: property bit →
         # bitmap over query positions still missing that property, plus
-        # the uncovered-query bitmap.  Built lazily on the first probe
-        # after a mutation (solvers probe many slates per commit, so the
-        # rebuild amortizes away); ``None`` = stale.
-        self._transposed: Optional[Tuple[Dict[int, int], int]] = None
+        # the uncovered-query bitmap.  Built lazily on the first probe that
+        # wants it and from then on maintained *incrementally*: ``add``
+        # clears the flipped bits it already computes, the undo log's
+        # ``(qidx, old-mask)`` entries replay the exact inverse deltas on
+        # rollback, and ``remove`` applies its recomputed per-query masks
+        # as set/clear deltas — so solver loops that alternate
+        # mutate/probe never pay a full rebuild walk again.  ``None`` =
+        # never built (the matrix backend probes its numpy mirror
+        # instead, so it stays ``None`` there and the maintenance in the
+        # mutation hot paths is a single ``is None`` test).
+        self._t_by_prop: Optional[Dict[int, int]] = None
+        self._t_uncovered: int = 0
 
     @property
     def covered(self) -> FrozenSet[Query]:
@@ -681,9 +694,10 @@ class BitsetCoverageTracker(CoverageTracker):
         return total
 
     def _transpose(self) -> Tuple[Dict[int, int], int]:
-        got = self._transposed
-        if got is None:
-            by_prop: Dict[int, int] = {}
+        by_prop = self._t_by_prop
+        if by_prop is None:
+            self.transpose_rebuilds += 1
+            by_prop = {}
             uncovered = 0
             for qidx, miss in enumerate(self._missing):
                 if not miss:
@@ -695,8 +709,9 @@ class BitsetCoverageTracker(CoverageTracker):
                     pidx = low.bit_length() - 1
                     by_prop[pidx] = by_prop.get(pidx, 0) | qbit
                     miss ^= low
-            got = self._transposed = (by_prop, uncovered)
-        return got
+            self._t_by_prop = by_prop
+            self._t_uncovered = uncovered
+        return by_prop, self._t_uncovered
 
     def probe_gain(self, additions: Iterable[Classifier]) -> float:
         # Bit-parallel over *queries*: property ``p`` of query ``q`` is
@@ -710,7 +725,7 @@ class BitsetCoverageTracker(CoverageTracker):
         compiled = self._compiled
         mask_of = compiled.mask_of
         masks = [m for c in additions if (m := mask_of(c))]
-        if self._transposed is None:
+        if self._t_by_prop is None:
             # Cold transpose: a rebuild walks every uncovered query.  When
             # the slate's inverted-index rows are short (the solve-side
             # pattern of one or two trial classifiers between commits),
@@ -793,7 +808,6 @@ class BitsetCoverageTracker(CoverageTracker):
         cmask = compiled.mask_of(classifier)
         if cmask:
             self._selected_masks[classifier] = cmask
-            self._transposed = None
             missing = self._missing
             covered = self._covered
             covered_queries = self._covered_queries
@@ -801,6 +815,13 @@ class BitsetCoverageTracker(CoverageTracker):
             utilities = compiled.utilities
             utility = self._utility
             ncmask = ~cmask
+            # Live transpose: clear each flipped (property, query) bit as
+            # we go — the delta ``miss & cmask`` is exactly the bits this
+            # add removes from the query's residual, so the transpose
+            # stays cold-rebuild-identical (zero entries deleted) without
+            # ever walking unaffected queries.
+            by_prop = self._t_by_prop
+            t_uncovered = self._t_uncovered
             for qidx in compiled.containing(cmask):
                 miss = missing[qidx]
                 new = miss & ncmask
@@ -809,12 +830,29 @@ class BitsetCoverageTracker(CoverageTracker):
                 missing[qidx] = new
                 if logging:
                     removed.append((qidx, miss))
+                if by_prop is not None:
+                    qbit = 1 << qidx
+                    nqbit = ~qbit
+                    delta = miss & cmask
+                    while delta:
+                        low = delta & -delta
+                        delta ^= low
+                        pidx = low.bit_length() - 1
+                        left = by_prop[pidx] & nqbit
+                        if left:
+                            by_prop[pidx] = left
+                        else:
+                            del by_prop[pidx]
+                    if not new:
+                        t_uncovered &= nqbit
                 if not new:
                     covered.add(qidx)
                     covered_queries.add(queries[qidx])
                     utility += utilities[qidx]
                     newly_idx.append(qidx)
             self._utility = utility
+            if by_prop is not None:
+                self._t_uncovered = t_uncovered
         if logging:
             self._undo.append((classifier, newly_idx, removed))
         self._covered_order.extend(newly_idx)
@@ -835,10 +873,27 @@ class BitsetCoverageTracker(CoverageTracker):
             covered.discard(qidx)
             covered_queries.discard(queries[qidx])
         missing = self._missing
-        if removed:
-            self._transposed = None
-        for qidx, old in removed:
-            missing[qidx] = old
+        by_prop = self._t_by_prop
+        if by_prop is None:
+            for qidx, old in removed:
+                missing[qidx] = old
+        else:
+            # Replay the inverse transpose deltas from the undo log: the
+            # bits this add cleared from a query are ``old & ~current``,
+            # and ``old`` is always nonzero (zero-missing queries never
+            # log), so the query's uncovered bit is re-set unconditionally.
+            t_uncovered = self._t_uncovered
+            for qidx, old in removed:
+                qbit = 1 << qidx
+                delta = old & ~missing[qidx]
+                missing[qidx] = old
+                t_uncovered |= qbit
+                while delta:
+                    low = delta & -delta
+                    delta ^= low
+                    pidx = low.bit_length() - 1
+                    by_prop[pidx] = by_prop.get(pidx, 0) | qbit
+            self._t_uncovered = t_uncovered
 
     def remove(self, classifier: Classifier) -> List[Query]:
         self._check_current()
@@ -853,9 +908,9 @@ class BitsetCoverageTracker(CoverageTracker):
         compiled = self._compiled
         cmask = self._selected_masks.pop(classifier, None)
         if cmask:
-            self._transposed = None
             selected_masks = self._selected_masks
             query_masks = compiled.query_masks
+            by_prop = self._t_by_prop
             for qidx in compiled.containing(cmask):
                 qmask = query_masks[qidx]
                 union = 0
@@ -863,7 +918,34 @@ class BitsetCoverageTracker(CoverageTracker):
                     if not mask & ~qmask:
                         union |= mask
                 miss = qmask & ~union
+                old = self._missing[qidx]
                 self._missing[qidx] = miss
+                if by_prop is not None and miss != old:
+                    # Two-direction transpose delta: bits this removal
+                    # resurrects (now missing, weren't) get the query bit
+                    # set; bits it retires get it cleared.
+                    qbit = 1 << qidx
+                    added = miss & ~old
+                    while added:
+                        low = added & -added
+                        added ^= low
+                        pidx = low.bit_length() - 1
+                        by_prop[pidx] = by_prop.get(pidx, 0) | qbit
+                    cleared = old & ~miss
+                    nqbit = ~qbit
+                    while cleared:
+                        low = cleared & -cleared
+                        cleared ^= low
+                        pidx = low.bit_length() - 1
+                        left = by_prop[pidx] & nqbit
+                        if left:
+                            by_prop[pidx] = left
+                        else:
+                            del by_prop[pidx]
+                    if miss:
+                        self._t_uncovered |= qbit
+                    else:
+                        self._t_uncovered &= nqbit
                 if miss and qidx in self._covered:
                     self._covered.discard(qidx)
                     self._covered_queries.discard(compiled.queries[qidx])

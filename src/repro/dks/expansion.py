@@ -34,11 +34,17 @@ def solve_expansion(
         # Edgeless graph: any k nodes induce weight 0.
         return frozenset(nodes[:k])
 
+    # Tiebreak table, built once: the selection loop compares
+    # (gain, weighted degree, repr) up to O(n) times per pick, and the
+    # nested (gain[u], tie[u]) key orders identically to the historical
+    # flat (gain[u], weighted_degree(u), node_repr(u)) tuple while
+    # costing two dict lookups instead of a degree probe and a repr.
+    tie = {u: (graph.weighted_degree(u), node_repr(u)) for u in nodes}
+
     if k == 1:
         # A single node induces no edges; pick the max-degree node anyway so
         # downstream local search has a sensible start.
-        top = max(nodes, key=lambda u: (graph.weighted_degree(u), node_repr(u)))
-        return frozenset({top})
+        return frozenset({max(nodes, key=tie.__getitem__)})
 
     selected = set(best_edge)
     # gain[u] = weighted degree of u into `selected`
@@ -50,14 +56,10 @@ def solve_expansion(
 
     while len(selected) < k:
         if gain:
-            candidate = max(
-                gain, key=lambda u: (gain[u], graph.weighted_degree(u), node_repr(u))
-            )
+            candidate = max(gain, key=lambda u: (gain[u], tie[u]))
         else:
             outside = [u for u in nodes if u not in selected]
-            candidate = max(
-                outside, key=lambda u: (graph.weighted_degree(u), node_repr(u))
-            )
+            candidate = max(outside, key=tie.__getitem__)
         selected.add(candidate)
         gain.pop(candidate, None)
         for v, w in graph.neighbors(candidate).items():

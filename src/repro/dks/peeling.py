@@ -7,6 +7,12 @@ strategy; with a lazy heap the running time is ``O(m log n)``.
 Because the induced weight is monotone under adding nodes, the heaviest
 subgraph on *at most* ``k`` nodes can be assumed to have exactly
 ``min(k, n)`` nodes, so peeling down to ``k`` is the natural stopping rule.
+
+The queue is int-indexed: nodes are ranked once by :func:`node_repr`, so
+heap entries are plain ``(degree, rank)`` pairs whose comparisons resolve
+ties exactly like the historical ``(degree, repr, node)`` tuples — the
+rank order *is* the repr order — while every push/pop compares two
+machine ints instead of two Python strings.
 """
 
 from __future__ import annotations
@@ -24,21 +30,33 @@ def solve_peeling(
     """Heaviest-k-subgraph by greedy min-weighted-degree peeling."""
     if k <= 0:
         return frozenset()
-    alive = set(graph.nodes)
-    if len(alive) <= k:
-        return frozenset(alive)
+    n = len(graph)
+    if n <= k:
+        return frozenset(graph.nodes)
 
-    degree = {u: graph.weighted_degree(u) for u in alive}
-    heap = [(d, node_repr(u), u) for u, d in degree.items()]
+    # Rank nodes by repr once; from here on the heap sees only ints.
+    ranked = sorted(graph.nodes, key=node_repr)
+    index_of = {u: i for i, u in enumerate(ranked)}
+    # Cached unrestricted totals: same per-node accumulation order as the
+    # adjacency rows, so every float matches the dict-based version.
+    degree = [graph.weighted_degree(u) for u in ranked]
+    adj = [
+        [(index_of[v], w) for v, w in graph.neighbors(u).items()]
+        for u in ranked
+    ]
+    alive = [True] * n
+    alive_count = n
+    heap = [(degree[i], i) for i in range(n)]
     heapq.heapify(heap)
 
-    while len(alive) > k:
-        d, _, u = heapq.heappop(heap)
-        if u not in alive or d > degree[u] + 1e-12:
+    while alive_count > k:
+        d, i = heapq.heappop(heap)
+        if not alive[i] or d > degree[i] + 1e-12:
             continue  # stale heap entry
-        alive.discard(u)
-        for v, w in graph.neighbors(u).items():
-            if v in alive:
-                degree[v] -= w
-                heapq.heappush(heap, (degree[v], node_repr(v), v))
-    return frozenset(alive)
+        alive[i] = False
+        alive_count -= 1
+        for j, w in adj[i]:
+            if alive[j]:
+                degree[j] -= w
+                heapq.heappush(heap, (degree[j], j))
+    return frozenset(u for i, u in enumerate(ranked) if alive[i])

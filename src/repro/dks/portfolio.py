@@ -19,8 +19,8 @@ on every path.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, FrozenSet, Optional, Sequence, Tuple
 
 from repro.dks.expansion import solve_expansion
 from repro.dks.local_search import improve_by_swaps
@@ -73,6 +73,36 @@ class HksPortfolio:
     polish: bool = True
     seed: int = 0
     jobs: Optional[int] = 1
+    #: Structural solve memo: the A^BCC picks loop re-solves the same
+    #: bipartition/blow-up subgraph for the same ``k`` across budget
+    #: iterations, and every arm is a pure function of ``(graph
+    #: structure, k, seed)`` — so an exact structural key (the graph's
+    #: cached :meth:`~repro.graphs.graph.WeightedGraph.fingerprint`, no
+    #: lossy hashing shortcuts) returns the identical frozenset object
+    #: without re-running the arms.  Excluded from equality/repr and
+    #: dropped on pickle (configs ride into pool workers; each process
+    #: re-warms its own memo).
+    _memo: Dict[Any, FrozenSet[Node]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    #: Memo entry cap; hitting it clears wholesale (the repo's bounded-
+    #: cache idiom — no LRU bookkeeping on the hot path).
+    _MEMO_MAX = 256
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state["_memo"] = {}
+        return state
+
+    def _memo_key(self, graph: WeightedGraph, k: int) -> Any:
+        return (
+            k,
+            tuple(self.engines),
+            self.polish,
+            self.seed,
+            graph.fingerprint(),
+        )
 
     def solve(self, graph: WeightedGraph, k: int) -> FrozenSet[Node]:
         """Run every configured engine and return the heaviest selection."""
@@ -84,6 +114,14 @@ class HksPortfolio:
         nodes_count = len(graph)
         if nodes_count <= k:
             return frozenset(graph.nodes)
+        from repro.profile import add_count, phase
+
+        key = self._memo_key(graph, k)
+        hit = self._memo.get(key)
+        if hit is not None:
+            add_count("hks_memo_hits")
+            return hit
+        add_count("hks_memo_misses")
         runnable = [
             name
             for name in self.engines
@@ -94,7 +132,10 @@ class HksPortfolio:
         from repro.parallel.pool import pmap, resolve_jobs
 
         jobs = resolve_jobs(self.jobs)
-        candidates = pmap(_solve_arm, arm_args, jobs=min(jobs, max(1, len(arm_args))))
+        with phase("hks_arms"):
+            candidates = pmap(
+                _solve_arm, arm_args, jobs=min(jobs, max(1, len(arm_args)))
+            )
 
         # Reduce in configured engine order with strict improvement, so the
         # winner is independent of arm completion order.
@@ -105,6 +146,9 @@ class HksPortfolio:
             if weight > best_weight:
                 best_weight = weight
                 best_set = candidate
+        if len(self._memo) >= self._MEMO_MAX:
+            self._memo.clear()
+        self._memo[key] = best_set
         return best_set
 
 

@@ -32,10 +32,11 @@ class BipartiteGraph:
         for node in left | right:
             if node in graph:
                 self.graph.add_node(node, graph.cost(node))
-        for u, v, w in graph.edges():
-            crossing = (u in left and v in right) or (u in right and v in left)
-            if crossing:
-                self.graph.add_edge(u, v, w)
+        self.graph.add_edges(
+            (u, v, w)
+            for u, v, w in graph.edges()
+            if (u in left and v in right) or (u in right and v in left)
+        )
 
     def side(self, node: Node) -> str:
         """Which side ("L" or "R") holds ``node``."""

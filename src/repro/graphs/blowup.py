@@ -41,11 +41,18 @@ class BlowupGraph:
             self.copies[node] = node_copies
             for copy in node_copies:
                 self.graph.add_node(copy, cost=1.0)
-        for u, v, w in original.edges():
-            per_copy = w / (len(self.copies[u]) * len(self.copies[v]))
-            for cu in self.copies[u]:
-                for cv in self.copies[v]:
-                    self.graph.add_edge(cu, cv, per_copy)
+        self.graph.add_edges(self._copy_edges())
+
+    def _copy_edges(self):
+        """Yield every copy edge (the add_edge loop, minus the dispatch)."""
+        copies = self.copies
+        for u, v, w in self.original.edges():
+            u_copies = copies[u]
+            v_copies = copies[v]
+            per_copy = w / (len(u_copies) * len(v_copies))
+            for cu in u_copies:
+                for cv in v_copies:
+                    yield cu, cv, per_copy
 
     def original_node(self, copy: Copy) -> Node:
         """The original node a copy belongs to."""

@@ -1,0 +1,126 @@
+"""Phase-attribution profiling for the solver hot paths.
+
+A :class:`PhaseProfiler` accumulates wall-seconds per named phase (from an
+injectable monotonic clock, so tests can drive it deterministically) plus
+free-form integer counters (probe counts, transpose rebuilds, memo hits).
+``solve_bcc``, the tracker probe paths, and the HkS portfolio report into
+whichever profiler is *active*; when none is, every hook is a single
+``is None`` test — near-zero overhead on the paths this module exists to
+measure.
+
+Enable globally with ``REPRO_PROFILE=1`` (checked per solve, so tests can
+flip it), or scope explicitly::
+
+    with activate(PhaseProfiler()) as prof:
+        solve_bcc(instance)
+    print(prof.snapshot())
+
+When a profiler is active (or the env var is set), ``solve_bcc`` attaches
+the snapshot as ``Solution.meta["profile"]``.  When disabled, the meta key
+is absent and solutions stay byte-identical to unprofiled runs — the
+result cache never sees profiling noise.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+__all__ = [
+    "PhaseProfiler",
+    "activate",
+    "current_profiler",
+    "phase",
+    "add_count",
+    "profiling_enabled",
+]
+
+Clock = Callable[[], float]
+
+
+class PhaseProfiler:
+    """Accumulates per-phase seconds and named counters.
+
+    Phases nest: entering ``phase("qk")`` inside ``phase("round")``
+    charges the inner span to both (each phase records its own inclusive
+    time).  ``calls`` counts phase entries, ``counts`` holds free-form
+    integer telemetry.
+    """
+
+    def __init__(self, clock: Optional[Clock] = None) -> None:
+        self.clock: Clock = clock if clock is not None else time.perf_counter
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+        self.counts: Dict[str, int] = {}
+
+    def add_count(self, name: str, amount: int = 1) -> None:
+        self.counts[name] = self.counts.get(name, 0) + amount
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        start = self.clock()
+        try:
+            yield
+        finally:
+            elapsed = self.clock() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+            self.calls[name] = self.calls.get(name, 0) + 1
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-ready view: per-phase seconds/calls plus counters."""
+        return {
+            "phases": {
+                name: {"seconds": self.seconds[name], "calls": self.calls.get(name, 0)}
+                for name in sorted(self.seconds)
+            },
+            "counts": dict(sorted(self.counts.items())),
+        }
+
+
+# Active-profiler stack: module-level so the solver layers report into the
+# caller's profiler without threading it through every signature.
+_ACTIVE: List[PhaseProfiler] = []
+
+
+def current_profiler() -> Optional[PhaseProfiler]:
+    """The innermost active profiler, or ``None`` (the common case)."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def activate(profiler: PhaseProfiler) -> Iterator[PhaseProfiler]:
+    """Make ``profiler`` the active sink for the enclosed block."""
+    _ACTIVE.append(profiler)
+    try:
+        yield profiler
+    finally:
+        _ACTIVE.pop()
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Time a span against the active profiler; no-op when none is."""
+    prof = _ACTIVE[-1] if _ACTIVE else None
+    if prof is None:
+        yield
+        return
+    with prof.phase(name):
+        yield
+
+
+def add_count(name: str, amount: int = 1) -> None:
+    """Bump a counter on the active profiler; no-op when none is."""
+    if _ACTIVE:
+        _ACTIVE[-1].add_count(name, amount)
+
+
+def profiling_enabled() -> bool:
+    """Whether ``REPRO_PROFILE`` asks solves to self-profile."""
+    return os.environ.get("REPRO_PROFILE", "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+        "off",
+    )

@@ -137,9 +137,11 @@ def _scaled_graph(
             scaled.add_node(node, float(scaled_cost))
             kept.append(node)
     kept_set = set(kept)
-    for u, v, w in graph.edges():
-        if u in kept_set and v in kept_set:
-            scaled.add_edge(u, v, w)
+    scaled.add_edges(
+        (u, v, w)
+        for u, v, w in graph.edges()
+        if u in kept_set and v in kept_set
+    )
     if any(bonuses.get(v, 0.0) > 0 for v in kept):
         scaled.add_node(_BONUS_NODE, 1.0)
         scaled_budget += 1  # the virtual node must not eat real budget

@@ -180,3 +180,49 @@ class TestPortfolio:
         # Portfolio should recover at least 80% of the optimum on small inputs
         # (the paper reports 65%-80%+ for the HkS heuristic it builds on).
         assert heuristic >= 0.8 * optimal - 1e-9
+
+
+class TestPortfolioMemo:
+    """The structural (graph fingerprint, k) solve memo."""
+
+    def test_repeat_solve_returns_same_object(self):
+        g = random_graph(3, n=12, p=0.5)
+        portfolio = HksPortfolio(seed=0)
+        first = portfolio.solve(g, 4)
+        second = portfolio.solve(g, 4)
+        assert second is first  # object-level hit, arms not re-run
+
+    def test_structural_hit_across_copies(self):
+        g = random_graph(4, n=12, p=0.5)
+        portfolio = HksPortfolio(seed=0)
+        first = portfolio.solve(g, 4)
+        assert portfolio.solve(g.copy(), 4) is first
+
+    def test_mutation_misses_and_resolves(self):
+        g = random_graph(5, n=12, p=0.5)
+        portfolio = HksPortfolio(seed=0)
+        first = portfolio.solve(g, 4)
+        g.add_edge(0, 1, 100.0)
+        second = portfolio.solve(g, 4)
+        assert second is not first
+        # The mutated graph now has its own memo line.
+        assert portfolio.solve(g, 4) is second
+
+    def test_distinct_k_entries_are_independent(self):
+        g = random_graph(6, n=12, p=0.5)
+        portfolio = HksPortfolio(seed=0)
+        three = portfolio.solve(g, 3)
+        five = portfolio.solve(g, 5)
+        assert len(three) == 3 and len(five) == 5
+        assert portfolio.solve(g, 3) is three
+        assert portfolio.solve(g, 5) is five
+
+    def test_pickle_drops_memo_but_solves_identically(self):
+        import pickle
+
+        g = random_graph(7, n=12, p=0.5)
+        portfolio = HksPortfolio(seed=0)
+        answer = portfolio.solve(g, 4)
+        clone = pickle.loads(pickle.dumps(portfolio))
+        assert clone._memo == {}
+        assert clone.solve(g, 4) == answer

@@ -22,8 +22,11 @@ matrix engine's target regime) come from
 
 from __future__ import annotations
 
+import random
+
 import pytest
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.algorithms.residual import ResidualProblem
 from repro.core import BCCInstance, CoverageTracker, from_letters as fs
@@ -206,6 +209,76 @@ class TestTrackerTraceDifferential:
             expected = covered_queries(instance, pool[::3])
         with use_engine(engine):
             assert covered_queries(_clone(instance), pool[::3]) == expected
+
+
+# ----------------------------------------------------------------------
+# incremental transpose maintenance
+# ----------------------------------------------------------------------
+class TestIncrementalTranspose:
+    """The property → still-missing-query transpose must be *maintained*.
+
+    After any interleaving of add / remove / checkpoint / rollback the
+    live ``_t_by_prop`` / ``_t_uncovered`` state must be bitmap-identical
+    to a cold rebuild from the missing masks — zero entries deleted, the
+    uncovered mask exact — with the rebuild counter still at the single
+    initial build (the A^BCC picks-loop invariant the perf-smoke CI job
+    gates on).
+    """
+
+    def _check_against_cold(self, tracker):
+        live_by_prop = dict(tracker._t_by_prop)
+        live_uncovered = tracker._t_uncovered
+        rebuilds = tracker.transpose_rebuilds
+        tracker._t_by_prop = None
+        cold_by_prop, cold_uncovered = tracker._transpose()
+        assert live_by_prop == cold_by_prop
+        assert live_uncovered == cold_uncovered
+        # The verification's own forced rebuild is not the tracker's doing.
+        tracker.transpose_rebuilds = rebuilds
+
+    def _interleave(self, instance, engine, seed, steps=40):
+        pool = sorted(instance.relevant_classifiers(), key=sorted)[:10]
+        if not pool:
+            return
+        rng = random.Random(seed)
+        with use_engine(engine):
+            tracker = CoverageTracker(instance)
+        # Force the one cold build: the heuristic may route short probes
+        # through row replay, and the matrix engine never builds the
+        # transpose on its own.
+        tracker._transpose()
+        baseline = tracker.transpose_rebuilds
+        depth = 0
+        for _ in range(steps):
+            op = rng.randrange(5)
+            if op <= 1:
+                tracker.add(rng.choice(pool))
+            elif op == 2 and depth:
+                tracker.rollback()
+                depth -= 1
+            elif op == 3 and not depth and tracker.selected:
+                tracker.remove(rng.choice(sorted(tracker.selected, key=sorted)))
+            elif depth < 3:
+                tracker.checkpoint()
+                depth += 1
+            self._check_against_cold(tracker)
+        while depth:
+            tracker.rollback()
+            depth -= 1
+            self._check_against_cold(tracker)
+        assert tracker.transpose_rebuilds == baseline
+
+    @pytest.mark.parametrize("engine", MASK_ENGINES)
+    @settings(max_examples=25, deadline=None)
+    @given(instance=solvable_instances(max_queries=5), seed=st.integers(0, 2**16))
+    def test_matches_cold_rebuild_dense(self, engine, instance, seed):
+        self._interleave(instance, engine, seed)
+
+    @pytest.mark.parametrize("engine", MASK_ENGINES)
+    @settings(max_examples=10, deadline=None)
+    @given(instance=wide_bcc_instances(), seed=st.integers(0, 2**16))
+    def test_matches_cold_rebuild_wide(self, engine, instance, seed):
+        self._interleave(instance, engine, seed, steps=25)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,154 @@
+"""Tests for the phase-attribution profiling layer (repro.profile)."""
+
+import pytest
+
+from repro.core import BCCInstance, from_letters as fs
+from repro.profile import (
+    PhaseProfiler,
+    activate,
+    add_count,
+    current_profiler,
+    phase,
+    profiling_enabled,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock: each read advances by `step`."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+def _instance() -> BCCInstance:
+    queries = [fs("ab"), fs("bc")]
+    utilities = {fs("ab"): 3.0, fs("bc"): 2.0}
+    costs = {fs("a"): 1.0, fs("b"): 1.0, fs("c"): 1.0, fs("ab"): 1.5, fs("bc"): 1.5}
+    return BCCInstance(queries, utilities, costs, budget=4.0)
+
+
+class TestPhaseProfiler:
+    def test_injected_clock_gives_deterministic_seconds(self):
+        prof = PhaseProfiler(clock=FakeClock(step=1.0))
+        with prof.phase("alpha"):
+            pass
+        with prof.phase("alpha"):
+            pass
+        snap = prof.snapshot()
+        assert snap["phases"]["alpha"] == {"seconds": 2.0, "calls": 2}
+
+    def test_phases_nest_with_inclusive_times(self):
+        clock = FakeClock(step=1.0)
+        prof = PhaseProfiler(clock=clock)
+        with prof.phase("outer"):
+            with prof.phase("inner"):
+                pass
+        snap = prof.snapshot()
+        assert snap["phases"]["inner"]["calls"] == 1
+        assert snap["phases"]["outer"]["seconds"] >= snap["phases"]["inner"]["seconds"]
+
+    def test_counters_accumulate(self):
+        prof = PhaseProfiler(clock=FakeClock())
+        prof.add_count("probes")
+        prof.add_count("probes", 4)
+        assert prof.snapshot()["counts"] == {"probes": 5}
+
+    def test_phase_records_even_on_exception(self):
+        prof = PhaseProfiler(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with prof.phase("boom"):
+                raise RuntimeError
+        assert prof.snapshot()["phases"]["boom"]["calls"] == 1
+
+
+class TestActivation:
+    def test_no_active_profiler_by_default(self):
+        assert current_profiler() is None
+
+    def test_module_hooks_are_noops_when_inactive(self):
+        add_count("ignored")
+        with phase("ignored"):
+            pass
+        assert current_profiler() is None
+
+    def test_activate_scopes_and_unwinds(self):
+        prof = PhaseProfiler(clock=FakeClock())
+        with activate(prof) as active:
+            assert active is prof
+            assert current_profiler() is prof
+            add_count("hits")
+            with phase("span"):
+                pass
+        assert current_profiler() is None
+        snap = prof.snapshot()
+        assert snap["counts"] == {"hits": 1}
+        assert snap["phases"]["span"]["calls"] == 1
+
+    def test_inner_profiler_shadows_outer(self):
+        outer, inner = PhaseProfiler(FakeClock()), PhaseProfiler(FakeClock())
+        with activate(outer):
+            with activate(inner):
+                add_count("x")
+        assert inner.counts == {"x": 1}
+        assert outer.counts == {}
+
+
+class TestEnvGate:
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on"])
+    def test_truthy_values_enable(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_PROFILE", value)
+        assert profiling_enabled()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "off", " 0 "])
+    def test_falsy_values_disable(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_PROFILE", value)
+        assert not profiling_enabled()
+
+    def test_unset_disables(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert not profiling_enabled()
+
+
+class TestSolveBccIntegration:
+    def test_profile_meta_absent_when_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        from repro.algorithms.bcc import solve_bcc
+
+        solution = solve_bcc(_instance())
+        assert "profile" not in solution.meta
+
+    def test_env_var_attaches_profile_meta(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        from repro.algorithms.bcc import solve_bcc
+
+        solution = solve_bcc(_instance())
+        profile = solution.meta["profile"]
+        assert "prune" in profile["phases"]
+        assert profile["counts"]["transpose_rebuilds"] >= 0
+
+    def test_explicit_profiler_sees_phases_and_counters(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        from repro.algorithms.bcc import solve_bcc
+
+        prof = PhaseProfiler()
+        with activate(prof):
+            solution = solve_bcc(_instance())
+        assert solution.meta["profile"] == prof.snapshot()
+        assert "tracker_probes" in prof.counts
+
+    def test_profiled_solution_identical_to_unprofiled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        from repro.algorithms.bcc import solve_bcc
+
+        plain = solve_bcc(_instance())
+        with activate(PhaseProfiler()):
+            profiled = solve_bcc(_instance())
+        assert profiled.classifiers == plain.classifiers
+        assert profiled.utility == plain.utility
+        assert profiled.cost == plain.cost

@@ -51,6 +51,7 @@ from repro.slo.stats import (
     MAX_OBSERVATIONS_PER_KEY,
     STATS_VERSION,
     default_stats_store,
+    seed_store_from_bench,
 )
 from repro.verify import check_incumbent_trace
 from tests.strategies import arm_observations, feature_counts
@@ -344,6 +345,89 @@ class TestArmStatsStore:
         target = tmp_path / "custom-stats.json"
         monkeypatch.setenv("REPRO_ARM_STATS", str(target))
         assert default_stats_store().path == target
+
+
+class TestSeedStoreFromBench:
+    """Replaying benchmark arm_observations into the arm-stats store."""
+
+    def _bench_file(self, tmp_path, rows):
+        path = tmp_path / "BENCH_hotpath.json"
+        path.write_text(json.dumps({"arm_observations": rows}))
+        return path
+
+    def _row(self, seconds=0.25, utility=10.0):
+        return {
+            "arm": "abcc",
+            "engine": "bits",
+            "features": [1.0] * len(FEATURE_NAMES),
+            "seconds": seconds,
+            "utility": utility,
+        }
+
+    def test_seeds_every_row(self, tmp_path):
+        store = ArmStatsStore(path=None)
+        path = self._bench_file(tmp_path, [self._row(0.2), self._row(0.3)])
+        assert seed_store_from_bench(store, path) == 2
+        assert store.observation_count("abcc", "bits") == 2
+
+    def test_seeded_observations_drive_predictions(self, tmp_path):
+        store = ArmStatsStore(path=None)
+        rows = [self._row(0.5) for _ in range(MIN_FIT_OBSERVATIONS)]
+        seed_store_from_bench(store, self._bench_file(tmp_path, rows))
+        predicted = store.predict_runtime(
+            "abcc", (1.0,) * len(FEATURE_NAMES), "bits"
+        )
+        # With uniform observations the prediction tracks the observed
+        # runtime, not the registry tier prior.
+        assert abs(predicted - 0.5) < 0.2
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="cannot read"):
+            seed_store_from_bench(ArmStatsStore(path=None), tmp_path / "nope.json")
+
+    def test_non_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ValueError, match="not JSON"):
+            seed_store_from_bench(ArmStatsStore(path=None), path)
+
+    def test_missing_observations_key_raises(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"micro_probe": {}}))
+        with pytest.raises(ValueError, match="arm_observations"):
+            seed_store_from_bench(ArmStatsStore(path=None), path)
+
+    def test_malformed_row_raises(self, tmp_path):
+        row = self._row()
+        del row["seconds"]
+        path = self._bench_file(tmp_path, [row])
+        with pytest.raises(ValueError, match="malformed"):
+            seed_store_from_bench(ArmStatsStore(path=None), path)
+
+    def test_cli_seed_stats_flag(self, tmp_path, capsys):
+        from repro.slo.cli import main
+
+        path = self._bench_file(tmp_path, [self._row()])
+        code = main(
+            [
+                "--virtual",
+                "--deadline-ms",
+                "10",
+                "--components",
+                "3",
+                "--seed-stats",
+                str(path),
+            ]
+        )
+        assert code == 0
+        assert "seeded 1 observation(s)" in capsys.readouterr().out
+
+    def test_cli_seed_stats_bad_file_exits_2(self, tmp_path, capsys):
+        from repro.slo.cli import main
+
+        code = main(["--virtual", "--seed-stats", str(tmp_path / "nope.json")])
+        assert code == 2
+        assert "--seed-stats failed" in capsys.readouterr().err
 
 
 # ----------------------------------------------------------------------
