@@ -29,6 +29,19 @@ class StaleWorkloadError(ReproError):
     """
 
 
+class ServingError(ReproError):
+    """A serving-façade request could not be admitted.
+
+    Raised (and converted into an error *response* — never propagated
+    into another tenant's in-flight request) when a request references
+    state the façade does not hold or cannot act on.
+    """
+
+
+class UnknownTenantError(ServingError):
+    """A request named a tenant the façade has no registered workload for."""
+
+
 class BudgetExceededError(ReproError):
     """A produced solution exceeds the budget — indicates a solver bug."""
 

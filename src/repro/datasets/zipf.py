@@ -26,6 +26,18 @@ def zipf_weights(count: int, exponent: float = 1.0) -> List[float]:
     return [1.0 / (rank**exponent) for rank in range(1, count + 1)]
 
 
+def zipf_rank(rng: random.Random, count: int, exponent: float = 1.0) -> int:
+    """A 0-based rank sampled with probability ∝ ``1 / (rank+1)^exponent``.
+
+    The popularity draw of the serving traffic generator: rank 0 is the
+    hottest tenant, the tail falls off Zipf-style.  Deterministic in
+    ``rng``'s state, so seeded traces are replayable.
+    """
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    return rng.choices(range(count), weights=zipf_weights(count, exponent), k=1)[0]
+
+
 def weighted_sample_distinct(
     rng: random.Random, items: Sequence[T], weights: Sequence[float], k: int
 ) -> List[T]:

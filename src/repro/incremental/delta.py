@@ -177,6 +177,54 @@ class WorkloadDelta:
             ),
         )
 
+    def to_json(self) -> dict:
+        """A JSON-compatible dict round-tripping through :meth:`from_json`.
+
+        Property sets become sorted lists and infinite costs the string
+        ``"inf"`` (mirroring :mod:`repro.datasets.schema`), so serialized
+        traffic traces stay human-readable and diff-stable.
+        """
+
+        def encode(entries):
+            return [
+                {
+                    "props": sorted(key),
+                    "value": "inf"
+                    if value is not None and math.isinf(value)
+                    else value,
+                }
+                for key, value in entries
+            ]
+
+        return {
+            "add": encode(self.add),
+            "remove": [sorted(query) for query in self.remove],
+            "utilities": encode(self.utilities),
+            "costs": encode(self.costs),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping) -> "WorkloadDelta":
+        """Rebuild the delta stored by :meth:`to_json`."""
+
+        def decode(entries):
+            return [
+                (
+                    frozenset(entry["props"]),
+                    math.inf
+                    if entry["value"] == "inf"
+                    else entry["value"],
+                )
+                for entry in entries
+            ]
+
+        return cls.of(
+            add=decode(payload.get("add", ())),
+            remove=[frozenset(props) for props in payload.get("remove", ())],
+            utilities=decode(payload.get("utilities", ())),
+            costs=decode(payload.get("costs", ())),
+        )
+
     def touched_queries(self, workload: ClassifierWorkload) -> Set[Query]:
         """Queries whose shard must be re-solved, against the *post*-delta
         workload (cost entries touch every query containing the classifier)."""

@@ -53,6 +53,7 @@ from repro.decompose.solver import (
 from repro.incremental.delta import WorkloadDelta
 from repro.incremental.partition import DynamicPartition
 from repro.parallel.cache import ResultCache
+from repro.parallel.clock import Clock
 from repro.parallel.fingerprint import shard_fingerprints, workload_fingerprint
 from repro.parallel.pool import ParallelConfig, SolveTask, run_tasks
 from repro.parallel.seeding import seed_for
@@ -74,6 +75,10 @@ class IncrementalConfig:
         certify: attach a first-principles certificate to every result.
         check_partition: run :meth:`DynamicPartition.check` after every
             delta (debug backstop; quadratic-ish, keep off in production).
+        clock: injected time for the dirty-shard task batches (``None``
+            uses the system clock).  A virtual clock forces the batches
+            serial and charges simulated seconds, which is what lets the
+            serving façade replay re-plans on a deterministic timeline.
     """
 
     inner_solver: str = "abcc"
@@ -82,6 +87,7 @@ class IncrementalConfig:
     cache: Optional[ResultCache] = field(default=None, repr=False)
     certify: bool = True
     check_partition: bool = False
+    clock: Optional[Clock] = field(default=None, repr=False)
 
 
 @dataclass
@@ -411,7 +417,8 @@ class IncrementalSolver:
         if tasks:
             jobs = effective_jobs(config.jobs, tasks)
             results = run_tasks(
-                tasks, ParallelConfig(jobs=jobs, cache=config.cache)
+                tasks,
+                ParallelConfig(jobs=jobs, cache=config.cache, clock=config.clock),
             )
             for (fp, point), result in zip(owners, results):
                 profile = self._profiles.get(fp)

@@ -1,0 +1,6 @@
+from repro.serving.cli import main
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

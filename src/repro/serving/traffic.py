@@ -1,0 +1,204 @@
+"""Zipf-distributed multi-tenant traffic generation and trace files.
+
+A :class:`ServingTrace` is a complete, replayable serving workload: the
+tenant registry (name → :class:`~repro.core.model.BCCInstance`) plus a
+time-ordered list of :class:`TraceItem` arrivals.  :func:`generate_trace`
+builds one deterministically from a seed:
+
+- **tenant popularity is Zipf** (:func:`repro.datasets.zipf.zipf_rank`) —
+  a few hot tenants dominate, mirroring the millions-of-users regime the
+  ROADMAP targets and giving the result cache its hit mass;
+- **request mix**: mostly ``plan`` at the tenant's own budget (the
+  repeatable, cacheable question), a slice of ``what_if`` probes drawn
+  from a small per-tenant budget palette (repeatable too), and a trickle
+  of ``replan`` deltas that *mutate* the hot tenants and force fresh
+  solves;
+- **replans are causally valid by construction**: each tenant's deltas
+  are generated against a scratch clone that applies them in trace
+  order (the same discipline as
+  :func:`repro.verify.incremental.random_delta_stream`), so every delta
+  validates against the workload state it will actually meet;
+- **arrivals** follow seeded exponential interarrivals, so coalescing
+  windows see realistic bursts.
+
+Every random draw derives from splittable
+:func:`~repro.parallel.seeding.seed_for` seeds — the same
+``(seed, tenant)`` pair yields the same tenant workload forever, and the
+whole trace is a pure function of its parameters.  Traces round-trip
+through JSON (:func:`save_trace` / :func:`load_trace`) for the
+``python -m repro.serving --trace`` CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.core.model import BCCInstance
+from repro.datasets.fragmented import generate_fragmented
+from repro.datasets.schema import instance_from_json, instance_to_json
+from repro.datasets.zipf import zipf_rank
+from repro.incremental.delta import random_delta
+from repro.parallel.seeding import derive_rng
+from repro.serving.requests import (
+    PlanRequest,
+    ReplanRequest,
+    ServeRequest,
+    WhatIfRequest,
+    request_from_json,
+    request_to_json,
+)
+
+TRACE_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceItem:
+    """One arrival: a request with its sequence id and arrival offset."""
+
+    seq: int
+    arrival_s: float
+    request: ServeRequest
+
+
+@dataclass
+class ServingTrace:
+    """Tenant registry plus the ordered arrival list (fully replayable)."""
+
+    tenants: Dict[str, BCCInstance] = field(default_factory=dict)
+    items: List[TraceItem] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def kind_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {"plan": 0, "replan": 0, "what_if": 0}
+        for item in self.items:
+            counts[item.request.kind] += 1
+        return counts
+
+
+def generate_trace(
+    n_requests: int = 1000,
+    n_tenants: int = 8,
+    seed: int = 0,
+    exponent: float = 1.0,
+    replan_fraction: float = 0.02,
+    what_if_fraction: float = 0.10,
+    mean_interarrival_s: float = 0.002,
+    components_per_tenant: int = 2,
+    queries_per_component: int = 6,
+    deadline_ms: Optional[float] = None,
+    budget_levels: int = 3,
+) -> ServingTrace:
+    """A seeded Zipf trace over ``n_tenants`` independent workloads.
+
+    Each tenant gets its own fragmented workload (seeded by
+    ``seed_for("serving-trace", seed, name)``), a small palette of
+    ``budget_levels`` what-if budgets, and a scratch clone that replans
+    mutate in causal order.  The trace is a pure function of the
+    arguments — regenerate with the same parameters and you get the same
+    bytes.
+    """
+    if n_requests <= 0:
+        raise ValueError(f"n_requests must be positive, got {n_requests}")
+    if n_tenants <= 0:
+        raise ValueError(f"n_tenants must be positive, got {n_tenants}")
+    if not 0 <= replan_fraction + what_if_fraction <= 1:
+        raise ValueError(
+            "replan_fraction + what_if_fraction must lie in [0, 1], got "
+            f"{replan_fraction} + {what_if_fraction}"
+        )
+
+    names = [f"tenant{index:03d}" for index in range(n_tenants)]
+    tenants: Dict[str, BCCInstance] = {}
+    scratch: Dict[str, BCCInstance] = {}
+    palettes: Dict[str, List[float]] = {}
+    for index, name in enumerate(names):
+        rng = derive_rng("serving-trace", seed, name)
+        instance = generate_fragmented(
+            n_components=components_per_tenant,
+            queries_per_component=queries_per_component,
+            budget=float(40 * components_per_tenant + 10 * (index % 5)),
+            seed=rng.randrange(2**31),
+        )
+        tenants[name] = instance
+        scratch[name] = instance.clone()
+        palettes[name] = [
+            round(instance.budget * factor, 6)
+            for factor in (0.5, 0.75, 1.25, 1.5, 2.0)[:budget_levels]
+        ]
+
+    rng = derive_rng("serving-trace", seed, "arrivals")
+    items: List[TraceItem] = []
+    arrival = 0.0
+    for seq in range(n_requests):
+        arrival += rng.expovariate(1.0 / mean_interarrival_s)
+        name = names[zipf_rank(rng, n_tenants, exponent)]
+        roll = rng.random()
+        request: ServeRequest
+        if roll < replan_fraction:
+            delta = random_delta(scratch[name], rng, fraction=0.05)
+            scratch[name].apply_delta(delta)
+            request = ReplanRequest(name, delta, deadline_ms=deadline_ms)
+        elif roll < replan_fraction + what_if_fraction:
+            budget = rng.choice(palettes[name])
+            request = WhatIfRequest(name, budget=budget, deadline_ms=deadline_ms)
+        else:
+            request = PlanRequest(name, deadline_ms=deadline_ms)
+        items.append(TraceItem(seq=seq, arrival_s=round(arrival, 9), request=request))
+    return ServingTrace(tenants=tenants, items=items)
+
+
+# ----------------------------------------------------------------------
+# JSON round-trip
+# ----------------------------------------------------------------------
+def trace_to_json(trace: ServingTrace) -> dict:
+    """A JSON-compatible dict round-tripping through :func:`trace_from_json`."""
+    return {
+        "format": TRACE_FORMAT_VERSION,
+        "tenants": {
+            name: instance_to_json(instance)
+            for name, instance in sorted(trace.tenants.items())
+        },
+        "items": [
+            {
+                "seq": item.seq,
+                "arrival_s": item.arrival_s,
+                "request": request_to_json(item.request),
+            }
+            for item in trace.items
+        ],
+    }
+
+
+def trace_from_json(payload: dict) -> ServingTrace:
+    """Rebuild the trace stored by :func:`trace_to_json`."""
+    if payload.get("format") != TRACE_FORMAT_VERSION:
+        raise ValueError(f"unsupported trace format {payload.get('format')!r}")
+    return ServingTrace(
+        tenants={
+            name: instance_from_json(entry)
+            for name, entry in payload["tenants"].items()
+        },
+        items=[
+            TraceItem(
+                seq=int(entry["seq"]),
+                arrival_s=float(entry["arrival_s"]),
+                request=request_from_json(entry["request"]),
+            )
+            for entry in payload["items"]
+        ],
+    )
+
+
+def save_trace(trace: ServingTrace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(trace_to_json(trace), sort_keys=True))
+
+
+def load_trace(path: Union[str, Path]) -> ServingTrace:
+    """Read a trace previously written by :func:`save_trace`."""
+    return trace_from_json(json.loads(Path(path).read_text()))

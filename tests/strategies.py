@@ -10,11 +10,15 @@ instead of each hand-rolling its own generator.
 from __future__ import annotations
 
 import math
+from random import Random
 
 from hypothesis import strategies as st
 
 from repro.core import BCCInstance, powerset_classifiers
+from repro.serving.requests import PlanRequest, ReplanRequest, WhatIfRequest
+from repro.serving.traffic import ServingTrace, TraceItem
 from repro.slo.features import features_from_counts
+from repro.verify.incremental import random_delta_stream
 from repro.verify.metamorphic import merge_duplicate_queries
 
 _PROPERTY_ALPHABET = "abcdefgh"
@@ -205,6 +209,57 @@ def arm_observations(
         )
         samples.append((features_from_counts(*counts), seconds))
     return samples
+
+
+@st.composite
+def request_streams(
+    draw,
+    max_tenants: int = 3,
+    max_requests: int = 10,
+    max_deltas: int = 3,
+):
+    """Small multi-tenant serving traces — the metamorphic serving unit.
+
+    Tenants draw independent solvable workloads; each tenant's replan
+    deltas come from :func:`repro.verify.incremental.random_delta_stream`,
+    so every delta validates against the workload state it meets when the
+    trace is served in arrival order.  The request mix covers all three
+    kinds, budget overrides, and the deadline spectrum (unbounded,
+    generous, zero) — ``test_serving.py`` replays each drawn trace under a
+    virtual clock and demands byte-identical response sequences across
+    runs and worker counts.
+    """
+    n_tenants = draw(st.integers(1, max_tenants))
+    names = [f"tenant{index}" for index in range(n_tenants)]
+    tenants = {}
+    deltas = {}
+    for name in names:
+        instance = draw(solvable_instances(max_queries=4))
+        tenants[name] = instance
+        seed = draw(st.integers(0, 2**16))
+        deltas[name] = random_delta_stream(
+            instance, max_deltas, Random(seed), fraction=0.4
+        )
+    items = []
+    arrival = 0.0
+    for seq in range(draw(st.integers(1, max_requests))):
+        arrival += draw(
+            st.floats(0.0, 0.01, allow_nan=False, allow_infinity=False)
+        )
+        name = draw(st.sampled_from(names))
+        deadline = draw(st.sampled_from([None, 0.0, 250.0]))
+        roll = draw(st.integers(0, 9))
+        if roll == 0 and deltas[name]:
+            request = ReplanRequest(name, deltas[name].pop(0), deadline_ms=deadline)
+        elif roll <= 2:
+            budget = draw(
+                st.sampled_from([None, round(tenants[name].budget * 0.5, 6)])
+            )
+            request = WhatIfRequest(name, budget=budget, deadline_ms=deadline)
+        else:
+            request = PlanRequest(name, deadline_ms=deadline)
+        items.append(TraceItem(seq=seq, arrival_s=round(arrival, 9), request=request))
+    return ServingTrace(tenants=tenants, items=items)
 
 
 @st.composite
